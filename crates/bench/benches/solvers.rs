@@ -1,0 +1,114 @@
+//! Substrate solver micro-benchmarks: the kernels every experiment leans
+//! on. These bound the cost of scaling the reproduction up (bigger racks,
+//! finer transients) and catch algorithmic regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rcs_core::ImmersionModel;
+use rcs_fluids::Coolant;
+use rcs_hydraulics::layout;
+use rcs_numeric::Matrix;
+use rcs_thermal::ThermalNetwork;
+use rcs_units::{Celsius, Power, Seconds, ThermalResistance};
+
+/// Dense elimination at the sizes our networks actually reach.
+fn bench_matrix_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_solve");
+    for n in [8usize, 32, 96, 192] {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = if i == j {
+                    4.0
+                } else {
+                    1.0 / (1.0 + (i + j) as f64)
+                };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.solve(black_box(&b)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// A SKAT-shaped thermal network: N chips into a bath into chilled water.
+fn skat_network(chips: usize) -> ThermalNetwork {
+    let mut net = ThermalNetwork::new();
+    let bath = net.add_node("bath");
+    let water = net.add_boundary("water", Celsius::new(20.0));
+    net.connect(bath, water, ThermalResistance::from_kelvin_per_watt(9.6e-4))
+        .unwrap();
+    for i in 0..chips {
+        let chip = net.add_node(format!("chip{i}"));
+        net.connect(chip, bath, ThermalResistance::from_kelvin_per_watt(0.22))
+            .unwrap();
+        net.add_heat(chip, Power::from_watts(91.0)).unwrap();
+    }
+    net
+}
+
+fn bench_thermal_steady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_steady");
+    for chips in [8usize, 96, 192] {
+        let net = skat_network(chips);
+        group.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |bench, _| {
+            bench.iter(|| black_box(net.solve_steady().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thermal_transient(c: &mut Criterion) {
+    let mut net = ThermalNetwork::new();
+    let chip = net.add_node_with_capacitance("chips", 14_400.0);
+    let bath = net.add_node_with_capacitance("bath", 105_000.0);
+    let water = net.add_boundary("water", Celsius::new(20.0));
+    net.connect(chip, bath, ThermalResistance::from_kelvin_per_watt(2.3e-3))
+        .unwrap();
+    net.connect(bath, water, ThermalResistance::from_kelvin_per_watt(9.6e-4))
+        .unwrap();
+    net.add_heat(chip, Power::from_watts(8736.0)).unwrap();
+    c.bench_function("thermal_transient_1h", |bench| {
+        bench.iter(|| {
+            black_box(
+                net.solve_transient(Celsius::new(20.0), Seconds::hours(1.0), Seconds::new(2.0))
+                    .unwrap(),
+            )
+        });
+    });
+}
+
+/// The Fig. 5 manifold at growing rack sizes.
+fn bench_hydraulic_manifold(c: &mut Criterion) {
+    let water = Coolant::water().state(Celsius::new(20.0));
+    let mut group = c.benchmark_group("hydraulic_manifold");
+    for loops in [6usize, 12, 24] {
+        let plan = layout::rack_manifold(loops, layout::ReturnStyle::Reverse);
+        group.bench_with_input(BenchmarkId::from_parameter(loops), &loops, |bench, _| {
+            bench.iter(|| black_box(plan.network.solve(black_box(&water)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+/// The full coupled SKAT solve: hydraulics + convection + exchanger +
+/// leakage fixed point.
+fn bench_coupled_immersion(c: &mut Criterion) {
+    c.bench_function("coupled_immersion_skat", |bench| {
+        bench.iter(|| black_box(ImmersionModel::skat().solve().unwrap()));
+    });
+}
+
+criterion_group!(
+    name = solvers;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matrix_solve,
+        bench_thermal_steady,
+        bench_thermal_transient,
+        bench_hydraulic_manifold,
+        bench_coupled_immersion
+);
+criterion_main!(solvers);

@@ -1,0 +1,5 @@
+//! Benchmark-only crate: see `benches/solvers.rs` (substrate solver
+//! micro-benchmarks) and `benches/experiments.rs` (one benchmark per
+//! paper table/figure, E1–E12 and F1–F5).
+//!
+//! Run with `cargo bench -p rcs-bench`.

@@ -1,0 +1,161 @@
+//! Seeded Monte-Carlo availability estimation.
+//!
+//! Draws failure events for every [`FailureClass`] as a Poisson process over a service horizon and accumulates downtime
+//! and hardware losses, turning §2's qualitative reliability comparison
+//! into distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::risk::FailureClass;
+
+/// Result of one Monte-Carlo availability study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityReport {
+    /// Service horizon simulated, years.
+    pub horizon_years: f64,
+    /// Trials run.
+    pub trials: usize,
+    /// Mean availability (uptime fraction) across trials.
+    pub mean_availability: f64,
+    /// 5th percentile availability (a bad-luck deployment).
+    pub p05_availability: f64,
+    /// Mean failure events per module-year.
+    pub mean_events_per_year: f64,
+    /// Mean hardware-loss events over the whole horizon.
+    pub mean_hardware_losses: f64,
+}
+
+/// Runs a seeded Monte-Carlo availability study over the given failure
+/// classes.
+///
+/// Each class is a Poisson process with its annual rate; every event costs
+/// its class downtime and, with the class probability, a hardware loss.
+/// Deterministic for a fixed seed.
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive or `trials` is zero.
+#[must_use]
+pub fn monte_carlo(
+    classes: &[FailureClass],
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+) -> AvailabilityReport {
+    assert!(horizon_years > 0.0, "horizon must be positive");
+    assert!(trials > 0, "at least one trial required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hours_total = horizon_years * 8766.0;
+
+    let mut availabilities = Vec::with_capacity(trials);
+    let mut total_events = 0usize;
+    let mut total_losses = 0.0f64;
+
+    for _ in 0..trials {
+        let mut downtime = 0.0;
+        for class in classes {
+            // Poisson draw via exponential interarrival times.
+            let rate = class.rate_per_year.max(0.0);
+            if rate == 0.0 {
+                continue;
+            }
+            let mut t = 0.0;
+            loop {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                t += -u.ln() / rate;
+                if t > horizon_years {
+                    break;
+                }
+                total_events += 1;
+                downtime += class.consequence.downtime_hours;
+                if rng.gen_bool(class.consequence.hardware_loss_probability.clamp(0.0, 1.0)) {
+                    total_losses += 1.0;
+                }
+            }
+        }
+        availabilities.push(1.0 - (downtime / hours_total).min(1.0));
+    }
+
+    availabilities.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    let mean = availabilities.iter().sum::<f64>() / trials as f64;
+    let p05 = availabilities[(trials as f64 * 0.05) as usize];
+
+    AvailabilityReport {
+        horizon_years,
+        trials,
+        mean_availability: mean,
+        p05_availability: p05,
+        mean_events_per_year: total_events as f64 / (trials as f64 * horizon_years),
+        mean_hardware_losses: total_losses / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{ColdPlateLoop, CoolingArchitecture, ImmersionBath};
+    use crate::risk;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let classes = risk::failure_classes(&CoolingArchitecture::Immersion(
+            ImmersionBath::skat_default(),
+        ));
+        let a = monte_carlo(&classes, 5.0, 500, 42);
+        let b = monte_carlo(&classes, 5.0, 500, 42);
+        assert_eq!(a, b);
+        let c = monte_carlo(&classes, 5.0, 500, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn event_rate_matches_the_analytic_sum() {
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let analytic: f64 = classes.iter().map(|c| c.rate_per_year).sum();
+        let report = monte_carlo(&classes, 5.0, 2000, 7);
+        let rel = (report.mean_events_per_year - analytic).abs() / analytic;
+        assert!(
+            rel < 0.05,
+            "MC {} vs analytic {analytic}",
+            report.mean_events_per_year
+        );
+    }
+
+    #[test]
+    fn immersion_availability_beats_cold_plates() {
+        let im = monte_carlo(
+            &risk::failure_classes(&CoolingArchitecture::Immersion(
+                ImmersionBath::skat_default(),
+            )),
+            5.0,
+            2000,
+            11,
+        );
+        let cp = monte_carlo(
+            &risk::failure_classes(&CoolingArchitecture::ColdPlate(
+                ColdPlateLoop::per_chip_plates(96),
+            )),
+            5.0,
+            2000,
+            11,
+        );
+        assert!(im.mean_availability > cp.mean_availability);
+        assert!(im.mean_hardware_losses < 1e-9);
+        assert!(cp.mean_hardware_losses > 1.0); // ~0.45/yr x 5 yr
+                                                // both are still "available" systems, not toys
+        assert!(im.mean_availability > 0.999);
+        assert!(cp.mean_availability > 0.98);
+    }
+
+    #[test]
+    fn p05_is_no_better_than_the_mean() {
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let r = monte_carlo(&classes, 5.0, 1000, 3);
+        assert!(r.p05_availability <= r.mean_availability);
+    }
+}

@@ -1,0 +1,250 @@
+//! Serviceability: what it takes to maintain each architecture.
+//!
+//! §2's critique of the IMMERS-style centralized systems: "complex
+//! maintenance stoppages are necessary to remove separate components and
+//! devices", because all coolant circulates through one chiller loop. The
+//! SKAT design answers with "self-contained circulation of the cooling
+//! liquid" per module: servicing one module never stops the rack. This
+//! module models the difference as a service-action catalog with
+//! per-architecture blast radii.
+
+/// How much of the rack a service action takes offline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BlastRadius {
+    /// Hot-swappable: nothing stops.
+    None,
+    /// The affected module only.
+    Module,
+    /// The whole rack (shared coolant loop must be drained/stopped).
+    Rack,
+}
+
+/// A routine or corrective service action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceAction {
+    /// What is being serviced.
+    pub action: &'static str,
+    /// Expected occurrences per module-year.
+    pub rate_per_module_year: f64,
+    /// Hands-on time, hours.
+    pub duration_hours: f64,
+    /// How much of the rack it stops.
+    pub blast_radius: BlastRadius,
+}
+
+/// Coolant-plumbing topologies whose serviceability the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlumbingTopology {
+    /// SKAT: every module has its own sealed bath, pump and exchanger;
+    /// only chilled water crosses the module boundary (§3).
+    SelfContainedModules,
+    /// IMMERS-style: one dielectric-coolant loop serves the whole rack
+    /// through a central chiller (the paper's §2 reference \[9\]).
+    CentralizedImmersion,
+    /// Closed-loop cold plates: one water loop across all boards.
+    ColdPlateLoop,
+}
+
+impl core::fmt::Display for PlumbingTopology {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::SelfContainedModules => "self-contained modules (SKAT)",
+            Self::CentralizedImmersion => "centralized immersion (IMMERS-style)",
+            Self::ColdPlateLoop => "closed-loop cold plates",
+        })
+    }
+}
+
+/// The service catalog of one topology.
+#[must_use]
+pub fn service_catalog(topology: PlumbingTopology) -> Vec<ServiceAction> {
+    match topology {
+        PlumbingTopology::SelfContainedModules => vec![
+            ServiceAction {
+                action: "replace/reprogram one CCB",
+                rate_per_module_year: 0.8,
+                duration_hours: 1.5,
+                blast_radius: BlastRadius::Module,
+            },
+            ServiceAction {
+                action: "coolant top-up",
+                rate_per_module_year: 0.25,
+                duration_hours: 0.5,
+                blast_radius: BlastRadius::Module,
+            },
+            ServiceAction {
+                action: "pump service",
+                rate_per_module_year: 0.10,
+                duration_hours: 2.0,
+                blast_radius: BlastRadius::Module,
+            },
+            ServiceAction {
+                action: "secondary water valve/fitting service",
+                rate_per_module_year: 0.05,
+                duration_hours: 1.0,
+                // balanced valves isolate one drop: module only
+                blast_radius: BlastRadius::Module,
+            },
+        ],
+        PlumbingTopology::CentralizedImmersion => vec![
+            ServiceAction {
+                action: "replace/reprogram one CCB",
+                rate_per_module_year: 0.8,
+                // the shared oil loop must be stopped and partially drained
+                duration_hours: 3.0,
+                blast_radius: BlastRadius::Rack,
+            },
+            ServiceAction {
+                action: "coolant top-up",
+                rate_per_module_year: 0.25,
+                duration_hours: 0.5,
+                blast_radius: BlastRadius::Rack,
+            },
+            ServiceAction {
+                action: "central pump service",
+                rate_per_module_year: 0.10 / 12.0, // one pump per rack
+                duration_hours: 4.0,
+                blast_radius: BlastRadius::Rack,
+            },
+            ServiceAction {
+                action: "circulation-control system repair",
+                // §2: "a complex system for the control of cooling-liquid
+                // circulation, which causes periodic failures"
+                rate_per_module_year: 0.30 / 12.0,
+                duration_hours: 6.0,
+                blast_radius: BlastRadius::Rack,
+            },
+        ],
+        PlumbingTopology::ColdPlateLoop => vec![
+            ServiceAction {
+                action: "replace/reprogram one CCB",
+                rate_per_module_year: 0.8,
+                // quick disconnects help, but the board must be unplumbed
+                duration_hours: 2.0,
+                blast_radius: BlastRadius::Module,
+            },
+            ServiceAction {
+                action: "loop de-air / pressure test",
+                rate_per_module_year: 0.5,
+                duration_hours: 2.0,
+                blast_radius: BlastRadius::Rack,
+            },
+            ServiceAction {
+                action: "pump service",
+                rate_per_module_year: 0.10,
+                duration_hours: 2.0,
+                blast_radius: BlastRadius::Rack,
+            },
+            ServiceAction {
+                action: "leak-sensor service",
+                rate_per_module_year: 0.2,
+                duration_hours: 1.0,
+                blast_radius: BlastRadius::Module,
+            },
+        ],
+    }
+}
+
+/// Annual serviceability summary at rack scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSummary {
+    /// Topology summarized.
+    pub topology: PlumbingTopology,
+    /// Expected whole-rack stoppages per year.
+    pub rack_stoppages_per_year: f64,
+    /// Expected module-only interventions per year (whole rack keeps
+    /// running).
+    pub module_services_per_year: f64,
+    /// Expected rack-wide lost module-hours per year: every rack stoppage
+    /// idles all modules for its duration; module services idle one.
+    pub lost_module_hours_per_year: f64,
+}
+
+/// Summarizes a rack of `modules` identical modules.
+#[must_use]
+pub fn summarize(topology: PlumbingTopology, modules: usize) -> ServiceSummary {
+    let n = modules as f64;
+    let mut rack_stoppages = 0.0;
+    let mut module_services = 0.0;
+    let mut lost_hours = 0.0;
+    for a in service_catalog(topology) {
+        let annual = a.rate_per_module_year * n;
+        match a.blast_radius {
+            BlastRadius::Rack => {
+                rack_stoppages += annual;
+                lost_hours += annual * a.duration_hours * n;
+            }
+            BlastRadius::Module => {
+                module_services += annual;
+                lost_hours += annual * a.duration_hours;
+            }
+            BlastRadius::None => {}
+        }
+    }
+    ServiceSummary {
+        topology,
+        rack_stoppages_per_year: rack_stoppages,
+        module_services_per_year: module_services,
+        lost_module_hours_per_year: lost_hours,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skat_modules_never_stop_the_rack() {
+        let s = summarize(PlumbingTopology::SelfContainedModules, 12);
+        assert_eq!(s.rack_stoppages_per_year, 0.0);
+        assert!(s.module_services_per_year > 5.0);
+    }
+
+    #[test]
+    fn centralized_immersion_stops_the_rack_constantly() {
+        // §2's complaint quantified: every board swap is a rack stoppage.
+        let s = summarize(PlumbingTopology::CentralizedImmersion, 12);
+        assert!(s.rack_stoppages_per_year > 10.0, "{s:?}");
+    }
+
+    #[test]
+    fn lost_hours_ordering_matches_the_paper() {
+        let skat = summarize(PlumbingTopology::SelfContainedModules, 12);
+        let immers = summarize(PlumbingTopology::CentralizedImmersion, 12);
+        let plates = summarize(PlumbingTopology::ColdPlateLoop, 12);
+        assert!(skat.lost_module_hours_per_year < plates.lost_module_hours_per_year);
+        assert!(plates.lost_module_hours_per_year < immers.lost_module_hours_per_year);
+        // the self-contained design is an order of magnitude better than
+        // the centralized loop it replaced
+        assert!(
+            immers.lost_module_hours_per_year > 10.0 * skat.lost_module_hours_per_year,
+            "IMMERS {} vs SKAT {}",
+            immers.lost_module_hours_per_year,
+            skat.lost_module_hours_per_year
+        );
+    }
+
+    #[test]
+    fn rack_stoppage_cost_scales_quadratically() {
+        // a rack stoppage idles n modules and happens n times as often:
+        // lost hours grow ~n², which is why centralization stops scaling
+        let small = summarize(PlumbingTopology::CentralizedImmersion, 4);
+        let large = summarize(PlumbingTopology::CentralizedImmersion, 12);
+        let ratio = large.lost_module_hours_per_year / small.lost_module_hours_per_year;
+        assert!(ratio > 6.0, "ratio {ratio}"); // ~(12/4)² with a linear floor
+    }
+
+    #[test]
+    fn catalog_rates_are_positive() {
+        for topo in [
+            PlumbingTopology::SelfContainedModules,
+            PlumbingTopology::CentralizedImmersion,
+            PlumbingTopology::ColdPlateLoop,
+        ] {
+            for a in service_catalog(topo) {
+                assert!(a.rate_per_module_year > 0.0);
+                assert!(a.duration_hours > 0.0);
+            }
+        }
+    }
+}

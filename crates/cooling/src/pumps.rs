@@ -1,0 +1,252 @@
+//! Pump selection for immersion cooling systems.
+//!
+//! §2 lists the selection criteria for the heat-transfer agent pump:
+//! performance parameters, overall dimensions and fitting placement,
+//! suitability for oil products of the specified viscosity, continuous
+//! maintenance mode, minimal vibrations, minimal permissible positive
+//! suction head (NPSH), and a motor protection class of at least IP-55.
+//! This module scores candidate pumps against those requirements.
+
+use rcs_units::{Length, Pressure, VolumeFlow};
+
+/// What the cooling system needs from its pump.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpRequirements {
+    /// Required flow at the duty point.
+    pub duty_flow: VolumeFlow,
+    /// Required head at the duty point.
+    pub duty_head: Pressure,
+    /// Maximum envelope the heat-exchange section allows.
+    pub max_length: Length,
+    /// Maximum acceptable vibration velocity (mm/s RMS).
+    pub max_vibration_mm_s: f64,
+    /// NPSH available in the bath (meters of head).
+    pub npsh_available_m: f64,
+}
+
+impl PumpRequirements {
+    /// The SKAT heat-exchange section's requirements.
+    #[must_use]
+    pub fn skat_default() -> Self {
+        Self {
+            duty_flow: VolumeFlow::liters_per_minute(420.0),
+            duty_head: Pressure::kilopascals(60.0),
+            max_length: Length::from_meters(0.40),
+            max_vibration_mm_s: 2.8,
+            npsh_available_m: 2.0,
+        }
+    }
+}
+
+/// One candidate pump from a vendor catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PumpCandidate {
+    /// Vendor/model designation.
+    pub name: String,
+    /// Maximum flow (zero head).
+    pub max_flow: VolumeFlow,
+    /// Shutoff head.
+    pub shutoff_head: Pressure,
+    /// Overall length of pump plus motor.
+    pub length: Length,
+    /// Motor ingress-protection class (e.g. 55 for IP-55).
+    pub ip_class: u8,
+    /// Vibration velocity at duty (mm/s RMS).
+    pub vibration_mm_s: f64,
+    /// Required net positive suction head (meters).
+    pub npsh_required_m: f64,
+    /// Rated for mineral-oil products of the system's viscosity.
+    pub oil_compatible: bool,
+    /// Rated for continuous (24/7) duty.
+    pub continuous_duty: bool,
+    /// Can run submerged in the heat-transfer agent (SKAT+).
+    pub submersible: bool,
+}
+
+/// Verdict for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PumpVerdict {
+    /// Candidate name.
+    pub name: String,
+    /// Hard requirements all met.
+    pub qualified: bool,
+    /// Which hard requirements failed (empty when qualified).
+    pub failures: Vec<&'static str>,
+    /// Soft score in `[0, 1]` among qualified pumps (margin above duty
+    /// point, vibration margin, compactness).
+    pub score: f64,
+}
+
+/// Head delivered at the duty flow assuming a quadratic curve.
+fn head_at_duty(c: &PumpCandidate, flow: VolumeFlow) -> f64 {
+    let qn = flow.cubic_meters_per_second() / c.max_flow.cubic_meters_per_second();
+    c.shutoff_head.pascals() * (1.0 - qn * qn)
+}
+
+/// Evaluates one candidate against the requirements.
+///
+/// Hard gates follow §2 verbatim: oil compatibility, continuous duty,
+/// IP-55 or better, NPSH margin, envelope, and the hydraulic duty point.
+#[must_use]
+pub fn evaluate(c: &PumpCandidate, req: &PumpRequirements) -> PumpVerdict {
+    let mut failures = Vec::new();
+    if !c.oil_compatible {
+        failures.push("not rated for oil products");
+    }
+    if !c.continuous_duty {
+        failures.push("not rated for continuous duty");
+    }
+    if c.ip_class < 55 {
+        failures.push("motor protection below IP-55");
+    }
+    if c.npsh_required_m > req.npsh_available_m {
+        failures.push("insufficient NPSH margin");
+    }
+    if c.length > req.max_length {
+        failures.push("does not fit the heat-exchange section");
+    }
+    let delivered = head_at_duty(c, req.duty_flow);
+    if delivered < req.duty_head.pascals() {
+        failures.push("cannot reach the duty point");
+    }
+    if c.vibration_mm_s > req.max_vibration_mm_s {
+        failures.push("vibration above limit");
+    }
+
+    let qualified = failures.is_empty();
+    let score = if qualified {
+        let head_margin = (delivered / req.duty_head.pascals() - 1.0).clamp(0.0, 1.0);
+        let vib_margin = (1.0 - c.vibration_mm_s / req.max_vibration_mm_s).clamp(0.0, 1.0);
+        let compactness = (1.0 - c.length.meters() / req.max_length.meters()).clamp(0.0, 1.0);
+        let submersible_bonus = if c.submersible { 0.15 } else { 0.0 };
+        (0.4 * head_margin + 0.25 * vib_margin + 0.2 * compactness + submersible_bonus)
+            .clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    PumpVerdict {
+        name: c.name.clone(),
+        qualified,
+        failures,
+        score,
+    }
+}
+
+/// Ranks candidates: qualified first, by descending score.
+#[must_use]
+pub fn rank(candidates: &[PumpCandidate], req: &PumpRequirements) -> Vec<PumpVerdict> {
+    let mut verdicts: Vec<PumpVerdict> = candidates.iter().map(|c| evaluate(c, req)).collect();
+    verdicts.sort_by(|a, b| {
+        b.qualified.cmp(&a.qualified).then(
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(core::cmp::Ordering::Equal),
+        )
+    });
+    verdicts
+}
+
+/// A small representative catalog: an oil-rated external gear pump, a
+/// submersible oil pump (the SKAT+ choice), a water circulator that fails
+/// the oil gate, and an underprotected budget unit.
+#[must_use]
+pub fn example_catalog() -> Vec<PumpCandidate> {
+    vec![
+        PumpCandidate {
+            name: "GearFlow GF-600 (external, oil)".into(),
+            max_flow: VolumeFlow::liters_per_minute(900.0),
+            shutoff_head: Pressure::kilopascals(90.0),
+            length: Length::from_meters(0.38),
+            ip_class: 55,
+            vibration_mm_s: 2.4,
+            npsh_required_m: 1.2,
+            oil_compatible: true,
+            continuous_duty: true,
+            submersible: false,
+        },
+        PumpCandidate {
+            name: "OilSub OS-700 (submersible)".into(),
+            max_flow: VolumeFlow::liters_per_minute(1000.0),
+            shutoff_head: Pressure::kilopascals(85.0),
+            length: Length::from_meters(0.30),
+            ip_class: 68,
+            vibration_mm_s: 1.1,
+            npsh_required_m: 0.3,
+            oil_compatible: true,
+            continuous_duty: true,
+            submersible: true,
+        },
+        PumpCandidate {
+            name: "AquaCirc AC-500 (water circulator)".into(),
+            max_flow: VolumeFlow::liters_per_minute(700.0),
+            shutoff_head: Pressure::kilopascals(70.0),
+            length: Length::from_meters(0.25),
+            ip_class: 55,
+            vibration_mm_s: 1.8,
+            npsh_required_m: 1.0,
+            oil_compatible: false,
+            continuous_duty: true,
+            submersible: false,
+        },
+        PumpCandidate {
+            name: "BudgetPump BP-100".into(),
+            max_flow: VolumeFlow::liters_per_minute(800.0),
+            shutoff_head: Pressure::kilopascals(75.0),
+            length: Length::from_meters(0.42),
+            ip_class: 44,
+            vibration_mm_s: 4.5,
+            npsh_required_m: 2.5,
+            oil_compatible: true,
+            continuous_duty: false,
+            submersible: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submersible_oil_pump_wins_the_skat_selection() {
+        let ranked = rank(&example_catalog(), &PumpRequirements::skat_default());
+        assert!(ranked[0].qualified);
+        assert!(ranked[0].name.starts_with("OilSub"));
+    }
+
+    #[test]
+    fn water_circulator_fails_the_oil_gate() {
+        let ranked = rank(&example_catalog(), &PumpRequirements::skat_default());
+        let aqua = ranked
+            .iter()
+            .find(|v| v.name.starts_with("AquaCirc"))
+            .unwrap();
+        assert!(!aqua.qualified);
+        assert!(aqua.failures.contains(&"not rated for oil products"));
+    }
+
+    #[test]
+    fn budget_pump_fails_multiple_gates() {
+        let req = PumpRequirements::skat_default();
+        let v = evaluate(&example_catalog()[3], &req);
+        assert!(!v.qualified);
+        assert!(v.failures.len() >= 3, "{:?}", v.failures);
+        assert!(v.failures.contains(&"motor protection below IP-55"));
+        assert_eq!(v.score, 0.0);
+    }
+
+    #[test]
+    fn duty_point_gate_uses_the_curve() {
+        let mut weak = example_catalog()[0].clone();
+        weak.shutoff_head = Pressure::kilopascals(30.0);
+        let v = evaluate(&weak, &PumpRequirements::skat_default());
+        assert!(v.failures.contains(&"cannot reach the duty point"));
+    }
+
+    #[test]
+    fn qualified_pumps_rank_before_unqualified() {
+        let ranked = rank(&example_catalog(), &PumpRequirements::skat_default());
+        let first_unqualified = ranked.iter().position(|v| !v.qualified).unwrap();
+        assert!(ranked[..first_unqualified].iter().all(|v| v.qualified));
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E13 ablation tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e13_ablations::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E1/E2 air-anchor experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e01_air_anchors::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints every experiment table of the reproduction (E1–E12, F1–F5).
+
+fn main() {
+    for table in rcs_core::experiments::run_all() {
+        print!("{table}");
+    }
+}

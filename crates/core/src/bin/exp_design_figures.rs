@@ -1,0 +1,7 @@
+//! Prints the F1 design-figure experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::f01_design_figures::run() {
+        print!("{table}");
+    }
+}

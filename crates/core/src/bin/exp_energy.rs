@@ -1,0 +1,7 @@
+//! Prints the E14 annual-energy tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e14_energy::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E3 family-scaling experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e03_family_scaling::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E16 fleet-simulation tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e16_fleet::run() {
+        print!("{table}");
+    }
+}

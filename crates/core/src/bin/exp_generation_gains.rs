@@ -1,0 +1,7 @@
+//! Prints the E6 generation-gain experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e06_generation_gains::run() {
+        print!("{table}");
+    }
+}

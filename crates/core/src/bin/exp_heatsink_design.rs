@@ -1,0 +1,7 @@
+//! Prints the E11 heat-sink design experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e11_heatsink_design::run() {
+        print!("{table}");
+    }
+}

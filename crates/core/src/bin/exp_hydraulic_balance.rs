@@ -1,0 +1,7 @@
+//! Prints the E8/F5 hydraulic-balancing experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e08_hydraulic_balance::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E4 liquid-vs-air experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e04_liquid_vs_air::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E15 serviceability tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e15_maintenance::run() {
+        print!("{table}");
+    }
+}

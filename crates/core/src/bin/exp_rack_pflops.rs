@@ -1,0 +1,7 @@
+//! Prints the E7 rack-petaflops experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e07_rack_pflops::run() {
+        print!("{table}");
+    }
+}

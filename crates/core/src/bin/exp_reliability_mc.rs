@@ -1,0 +1,7 @@
+//! Prints the E12 reliability Monte-Carlo experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e12_reliability_mc::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E9/F3/F4 SKAT+ redesign experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e09_skat_plus::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Prints the E5/F2 SKAT thermal experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e05_skat_thermal::run() {
+        print!("{table}");
+    }
+}

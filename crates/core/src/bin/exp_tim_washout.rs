@@ -1,0 +1,7 @@
+//! Prints the E10 TIM-washout experiment tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e10_tim_washout::run() {
+        print!("{table}");
+    }
+}

@@ -1,0 +1,107 @@
+//! **E6** — generation gains: SKAT vs Taygeta (§3).
+//!
+//! Paper: "The performance of a next-generation SKAT CM is increased in
+//! 8.7 times in comparison with the Taygeta CM. Original design solutions
+//! provide more than triple increasing of the system packing density."
+
+use rcs_platform::{presets, ComputeModule};
+
+use super::Table;
+
+/// Comparison metrics for one module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationRow {
+    /// Module name.
+    pub module: String,
+    /// Compute FPGAs.
+    pub fpgas: usize,
+    /// Peak performance, TFlops.
+    pub peak_tflops: f64,
+    /// Performance relative to Taygeta.
+    pub perf_vs_taygeta: f64,
+    /// Packing density, FPGAs per m³.
+    pub density_fpga_per_m3: f64,
+    /// Density relative to Taygeta.
+    pub density_vs_taygeta: f64,
+}
+
+/// Computes the rows for Taygeta, SKAT and SKAT+.
+#[must_use]
+pub fn rows() -> Vec<GenerationRow> {
+    let taygeta = presets::taygeta();
+    let base_perf = taygeta.peak_performance().ops_per_second();
+    let base_density = taygeta.packing_density_fpga_per_m3();
+    [taygeta, presets::skat(), presets::skat_plus()]
+        .into_iter()
+        .map(|m: ComputeModule| GenerationRow {
+            module: m.name().to_owned(),
+            fpgas: m.compute_fpga_count(),
+            peak_tflops: m.peak_performance().as_teraflops(),
+            perf_vs_taygeta: m.peak_performance().ops_per_second() / base_perf,
+            density_fpga_per_m3: m.packing_density_fpga_per_m3(),
+            density_vs_taygeta: m.packing_density_fpga_per_m3() / base_density,
+        })
+        .collect()
+}
+
+/// Renders the experiment tables.
+#[must_use]
+pub fn run() -> Vec<Table> {
+    let data = rows();
+    let table = Table::new(
+        "E6 — generation gains (paper: SKAT = x8.7 performance, >x3 packing density vs Taygeta)",
+        &[
+            "module",
+            "FPGAs",
+            "peak [TFlops]",
+            "perf vs Taygeta",
+            "density [FPGA/m³]",
+            "density vs Taygeta",
+        ],
+        data.iter()
+            .map(|r| {
+                vec![
+                    r.module.clone(),
+                    r.fpgas.to_string(),
+                    format!("{:.1}", r.peak_tflops),
+                    format!("x{:.2}", r.perf_vs_taygeta),
+                    format!("{:.0}", r.density_fpga_per_m3),
+                    format!("x{:.2}", r.density_vs_taygeta),
+                ]
+            })
+            .collect(),
+    );
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skat_performance_ratio_is_8_7() {
+        let skat = &rows()[1];
+        assert!(
+            (skat.perf_vs_taygeta - 8.7).abs() < 0.4,
+            "x{}",
+            skat.perf_vs_taygeta
+        );
+    }
+
+    #[test]
+    fn skat_density_more_than_triples() {
+        let skat = &rows()[1];
+        assert!(
+            skat.density_vs_taygeta > 3.0,
+            "x{}",
+            skat.density_vs_taygeta
+        );
+    }
+
+    #[test]
+    fn skat_plus_triples_skat() {
+        let data = rows();
+        let ratio = data[2].perf_vs_taygeta / data[1].perf_vs_taygeta;
+        assert!((ratio - 3.0).abs() < 0.2, "x{ratio}");
+    }
+}

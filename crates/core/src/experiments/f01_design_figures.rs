@@ -1,0 +1,117 @@
+//! **F1** — the structural design report (Fig. 1: computational module
+//! and rack layout).
+//!
+//! A figure of a physical design reproduces as a structural inventory:
+//! sections, dimensions, component counts, and the aggregate rack view.
+
+use rcs_devices::OperatingPoint;
+use rcs_platform::{presets, Rack};
+use rcs_units::Celsius;
+
+use super::Table;
+
+/// Renders the module and rack inventory tables.
+#[must_use]
+pub fn run() -> Vec<Table> {
+    let skat = presets::skat();
+    let module = Table::new(
+        "F1a — SKAT computational module inventory (computational + heat-exchange sections)",
+        &["property", "value"],
+        vec![
+            vec![
+                "casing".into(),
+                format!(
+                    "19\" x {}U x {:.2} m deep",
+                    skat.height_units(),
+                    skat.depth().meters()
+                ),
+            ],
+            vec![
+                "computational section".into(),
+                format!(
+                    "{} CCBs x {} FPGAs ({}) + {} immersion PSUs, fully submerged",
+                    skat.ccb_count(),
+                    skat.ccb().compute_fpga_count(),
+                    skat.ccb().part().name(),
+                    skat.psu_count()
+                ),
+            ],
+            vec![
+                "heat-exchange section".into(),
+                "circulation pump + oil/water plate heat exchanger".into(),
+            ],
+            vec![
+                "heat-transfer agent".into(),
+                "SRC dielectric coolant (self-contained circulation)".into(),
+            ],
+            vec![
+                "external connections".into(),
+                "secondary-water supply/return fittings, power, network".into(),
+            ],
+            vec![
+                "bath volume".into(),
+                format!("{:.0} L casing volume", skat.volume().as_liters()),
+            ],
+            vec![
+                "peak performance".into(),
+                format!("{}", skat.peak_performance()),
+            ],
+        ],
+    );
+
+    let rack = Rack::with_modules(47.0, presets::skat(), 12).expect("12 x 3U fits 47U");
+    let op = OperatingPoint::operating_mode();
+    let rack_table = Table::new(
+        "F1b — 47U computer rack of SKAT modules (Fig. 1-b)",
+        &["property", "value"],
+        vec![
+            vec!["rack height".into(), "47U".into()],
+            vec![
+                "modules mounted".into(),
+                format!("{} x 3U", rack.modules().len()),
+            ],
+            vec![
+                "rack units free for services".into(),
+                format!("{:.0}U", rack.free_units()),
+            ],
+            vec![
+                "compute FPGAs".into(),
+                rack.compute_fpga_count().to_string(),
+            ],
+            vec![
+                "peak performance".into(),
+                format!("{}", rack.peak_performance()),
+            ],
+            vec![
+                "rack heat at operating mode".into(),
+                format!(
+                    "{:.0} kW",
+                    rack.total_heat(op, Celsius::new(50.0)).as_kilowatts()
+                ),
+            ],
+            vec![
+                "secondary cooling".into(),
+                "supply/return manifolds, reverse-return (Fig. 5), industrial chiller".into(),
+            ],
+        ],
+    );
+
+    vec![module, rack_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_matches_the_paper() {
+        let tables = run();
+        let module = &tables[0];
+        assert!(module
+            .rows
+            .iter()
+            .any(|r| r[1].contains("12 CCBs x 8 FPGAs")));
+        let rack = &tables[1];
+        assert!(rack.rows.iter().any(|r| r[1] == "12 x 3U"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The coupled immersion-cooling model — the SKAT system end to end.
+
+use rcs_cooling::ImmersionBath;
+use rcs_devices::{OperatingPoint, PowerModel};
+use rcs_hydraulics::{Element, HydraulicNetwork, Pipe};
+use rcs_platform::{presets, ComputeModule};
+use rcs_thermal::{
+    ChipStack, HeatSink, NodeId, ThermalInterface, ThermalNetwork, TimAging, TimMaterial,
+    TransientTrace,
+};
+use rcs_units::{
+    Celsius, Length, Power, Seconds, TempDelta, ThermalCapacityRate, Velocity, VolumeFlow,
+};
+
+use crate::error::CoreError;
+use crate::report::SteadyReport;
+
+/// Electrical efficiency of the circulation pump drive (hydraulic power
+/// delivered per electrical watt).
+const PUMP_DRIVE_EFFICIENCY: f64 = 0.45;
+
+/// The coupled model of one immersion-cooled computational module:
+/// hydraulic operating point → sink convection → ε-NTU heat exchange →
+/// chiller supply → temperature-dependent FPGA power, iterated to a fixed
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use rcs_core::ImmersionModel;
+///
+/// let report = ImmersionModel::skat().solve()?;
+/// assert!((report.chip_power.watts() - 91.0).abs() < 4.0);
+/// assert!(report.coolant_hot.degrees() <= 30.0);
+/// assert!(report.junction.degrees() <= 55.0);
+/// # Ok::<(), rcs_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImmersionModel {
+    module: ComputeModule,
+    bath: ImmersionBath,
+    op: OperatingPoint,
+    tim_material: TimMaterial,
+    aging: TimAging,
+}
+
+impl ImmersionModel {
+    /// The SKAT system: the `presets::skat()` module in its default bath.
+    #[must_use]
+    pub fn skat() -> Self {
+        Self::new(presets::skat(), ImmersionBath::skat_default())
+    }
+
+    /// The SKAT+ design: UltraScale+ module, immersed pumps, larger
+    /// exchanger.
+    #[must_use]
+    pub fn skat_plus() -> Self {
+        Self::new(presets::skat_plus(), ImmersionBath::skat_plus_default())
+    }
+
+    /// Builds a model from any module and bath.
+    #[must_use]
+    pub fn new(module: ComputeModule, bath: ImmersionBath) -> Self {
+        Self {
+            module,
+            bath,
+            op: OperatingPoint::operating_mode(),
+            tim_material: TimMaterial::SrcDesigned,
+            aging: TimAging::fresh(),
+        }
+    }
+
+    /// Overrides the operating point.
+    #[must_use]
+    pub fn with_operating_point(mut self, op: OperatingPoint) -> Self {
+        self.op = op;
+        self
+    }
+
+    /// Overrides the thermal interface material (washout experiments).
+    #[must_use]
+    pub fn with_tim(mut self, material: TimMaterial) -> Self {
+        self.tim_material = material;
+        self
+    }
+
+    /// Applies interface aging (service-time experiments).
+    #[must_use]
+    pub fn with_aging(mut self, aging: TimAging) -> Self {
+        self.aging = aging;
+        self
+    }
+
+    /// The module being cooled.
+    #[must_use]
+    pub fn module(&self) -> &ComputeModule {
+        &self.module
+    }
+
+    /// The bath configuration.
+    #[must_use]
+    pub fn bath(&self) -> &ImmersionBath {
+        &self.bath
+    }
+
+    /// The per-chip thermal stack at the current TIM configuration.
+    #[must_use]
+    pub fn chip_stack(&self) -> ChipStack {
+        let part = self.module.ccb().part();
+        ChipStack::new(
+            part.r_junction_case(),
+            ThermalInterface::new(
+                self.tim_material,
+                Length::millimeters(0.05),
+                part.package_side() * part.package_side(),
+            ),
+            HeatSink::PinFin(self.bath.sink),
+        )
+        .with_aging(self.aging)
+    }
+
+    /// Solves the circulation operating point at the given bulk oil
+    /// temperature: the pump curve against bath + exchanger losses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hydraulic solver failures.
+    pub fn circulation(&self, oil_bulk: Celsius) -> Result<(VolumeFlow, Power), CoreError> {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("bath inlet");
+        let b = net.add_junction("bath outlet");
+        let d50 = Length::millimeters(50.0);
+        let bath_branch = net
+            .add_branch(
+                "bath + exchanger path",
+                a,
+                b,
+                vec![
+                    Element::MinorLoss {
+                        k: 2.0,
+                        diameter: d50,
+                    }, // bath entry diffuser
+                    Element::MinorLoss {
+                        k: 4.0,
+                        diameter: d50,
+                    }, // board stack
+                    Element::MinorLoss {
+                        k: 2.0,
+                        diameter: d50,
+                    }, // bath exit collector
+                    Element::MinorLoss {
+                        k: 6.0,
+                        diameter: d50,
+                    }, // plate exchanger passages
+                    Element::Pipe(Pipe::smooth(Length::from_meters(1.5), d50)),
+                ],
+            )
+            .map_err(CoreError::from)?;
+        for i in 0..self.bath.pump_count {
+            net.add_branch(
+                format!("pump {i}"),
+                b,
+                a,
+                vec![Element::Pump(self.bath.pump)],
+            )
+            .map_err(CoreError::from)?;
+        }
+        let oil = self.bath.coolant.state(oil_bulk);
+        let solution = net.solve(&oil).map_err(CoreError::from)?;
+        let flow = solution.flow(bath_branch);
+        let electrical =
+            Power::from_watts(solution.total_pump_power().watts() / PUMP_DRIVE_EFFICIENCY);
+        Ok((flow, electrical))
+    }
+
+    /// Solves the full coupled steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoConvergence`] if the outer fixed point fails
+    /// (it converges in a handful of iterations for every physical
+    /// configuration) and propagates substrate failures.
+    pub fn solve(&self) -> Result<SteadyReport, CoreError> {
+        let model = PowerModel::for_part(self.module.ccb().part());
+        let stack = self.chip_stack();
+
+        let mut tj = Celsius::new(45.0);
+        let mut oil_hot = self.bath.chiller.setpoint() + TempDelta::from_kelvins(8.0);
+        let mut oil_cold = oil_hot;
+        let mut flow = VolumeFlow::ZERO;
+        let mut pump_electrical = Power::ZERO;
+        let mut velocity = Velocity::from_meters_per_second(0.0);
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..120 {
+            iterations = iter + 1;
+            let oil_bulk = Celsius::new(0.5 * (oil_hot.degrees() + oil_cold.degrees()));
+            let (q, p_elec) = self.circulation(oil_bulk)?;
+            flow = q;
+            pump_electrical = p_elec;
+            velocity = self.bath.approach_velocity(flow);
+
+            let oil_state = self.bath.coolant.state(oil_bulk);
+            let chip_p = model.power(self.op, tj);
+            // pump heat also lands in the bath (fully for immersed drives,
+            // hydraulic share otherwise)
+            let pump_heat = if self.bath.immersed_pumps {
+                pump_electrical
+            } else {
+                Power::from_watts(pump_electrical.watts() * PUMP_DRIVE_EFFICIENCY)
+            };
+            let total = self.module.total_heat(self.op, tj) + pump_heat;
+
+            let c_oil: ThermalCapacityRate = (flow * oil_state.density) * oil_state.specific_heat;
+            let water = rcs_fluids::Coolant::water().state(self.bath.chiller.setpoint());
+            let c_water: ThermalCapacityRate =
+                (self.bath.water_flow * water.density) * water.specific_heat;
+            let eps = self.bath.exchanger.effectiveness(c_oil, c_water);
+            let c_min =
+                ThermalCapacityRate::new(c_oil.watts_per_kelvin().min(c_water.watts_per_kelvin()));
+            let supply = self.bath.chiller.supply_temperature(total);
+
+            // duty balance: total = eps * C_min * (oil_hot - supply)
+            let new_hot = supply
+                + TempDelta::from_kelvins(
+                    total.watts() / (eps * c_min.watts_per_kelvin()).max(1e-9),
+                );
+            let new_cold = new_hot - total / c_oil;
+            // the hottest chip bathes in the warmest oil
+            let new_tj = new_hot + chip_p * stack.total_resistance(&oil_state, velocity);
+
+            let step = (new_tj - tj).kelvins().abs() + (new_hot - oil_hot).kelvins().abs();
+            oil_hot = Celsius::new(0.5 * (oil_hot.degrees() + new_hot.degrees()));
+            oil_cold = Celsius::new(0.5 * (oil_cold.degrees() + new_cold.degrees()));
+            tj = Celsius::new(0.5 * (tj.degrees() + new_tj.degrees()));
+            if step < 1e-7 {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(CoreError::NoConvergence {
+                iterations,
+                residual_k: f64::NAN,
+            });
+        }
+
+        let chip_p = model.power(self.op, tj);
+        let total = self.module.total_heat(self.op, tj);
+        // the chiller rejects everything that crossed the exchanger:
+        // module heat plus the pump heat deposited in the bath
+        let pump_heat = if self.bath.immersed_pumps {
+            pump_electrical
+        } else {
+            Power::from_watts(pump_electrical.watts() * PUMP_DRIVE_EFFICIENCY)
+        };
+        Ok(SteadyReport {
+            architecture: "open-loop immersion",
+            module: self.module.name().to_owned(),
+            chip_power: chip_p,
+            junction: tj,
+            coolant_cold: oil_cold,
+            coolant_hot: oil_hot,
+            total_heat: total,
+            coolant_flow: flow,
+            sink_velocity: velocity,
+            circulation_power: pump_electrical,
+            chiller_power: self.bath.chiller.electrical_power(total + pump_heat),
+            iterations,
+        })
+    }
+
+    /// Per-chip junction temperatures along one board's flow direction.
+    ///
+    /// Oil enters a board at the cold bath temperature and heats up chip
+    /// by chip, so the streamwise-last FPGA is the "maximum FPGA
+    /// temperature" the paper reports. Returns one entry per chip
+    /// position, upstream first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupled-solver failures.
+    pub fn chip_profile(&self) -> Result<Vec<(usize, Celsius)>, CoreError> {
+        let steady = self.solve()?;
+        let chips_per_board = self.module.ccb().compute_fpga_count();
+        let boards = self.module.ccb_count() as f64;
+        let oil_bulk =
+            Celsius::new(0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()));
+        let oil = self.bath.coolant.state(oil_bulk);
+        // each board gets an equal share of the circulated flow
+        let per_board_flow = VolumeFlow::from_cubic_meters_per_second(
+            steady.coolant_flow.cubic_meters_per_second() / boards,
+        );
+        let c_board: ThermalCapacityRate = (per_board_flow * oil.density) * oil.specific_heat;
+        let stack = self.chip_stack();
+        let r = stack.total_resistance(&oil, steady.sink_velocity);
+        let chip_p = steady.chip_power;
+        // board overhead heats the stream too, spread evenly
+        let overhead_per_chip = Power::from_watts(
+            (self
+                .module
+                .ccb()
+                .board_power(self.op, steady.junction)
+                .watts()
+                - chip_p.watts() * chips_per_board as f64)
+                / chips_per_board as f64,
+        );
+
+        let mut local = steady.coolant_cold;
+        let mut profile = Vec::with_capacity(chips_per_board);
+        for i in 0..chips_per_board {
+            // the chip sees oil warmed by everything upstream plus half of
+            // its own heat (mid-chip reference)
+            let half = Power::from_watts(0.5 * (chip_p + overhead_per_chip).watts());
+            let mid = local + half / c_board;
+            profile.push((i, mid + chip_p * r));
+            local += (chip_p + overhead_per_chip) / c_board;
+        }
+        Ok(profile)
+    }
+
+    /// Simulates the module warm-up from a cold start (Fig. 2's heat
+    /// test): lumped chip-field and bath nodes against the chilled-water
+    /// boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate failures.
+    pub fn warmup(&self, duration: Seconds, step: Seconds) -> Result<WarmupTrace, CoreError> {
+        // Freeze the convection operating point at the solved steady state
+        // so the transient uses consistent resistances.
+        let steady = self.solve()?;
+        let oil_state = self.bath.coolant.state(Celsius::new(
+            0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()),
+        ));
+        let stack = self.chip_stack();
+        let chips = self.module.compute_fpga_count() as f64;
+        let r_field = rcs_units::ThermalResistance::from_kelvin_per_watt(
+            stack
+                .total_resistance(&oil_state, steady.sink_velocity)
+                .kelvin_per_watt()
+                / chips,
+        );
+
+        let water = rcs_fluids::Coolant::water().state(self.bath.chiller.setpoint());
+        let c_oil = (steady.coolant_flow * oil_state.density) * oil_state.specific_heat;
+        let c_water = (self.bath.water_flow * water.density) * water.specific_heat;
+        let eps = self.bath.exchanger.effectiveness(c_oil, c_water);
+        let c_min = c_oil.watts_per_kelvin().min(c_water.watts_per_kelvin());
+        let r_hx =
+            rcs_units::ThermalResistance::from_kelvin_per_watt(1.0 / (eps * c_min).max(1e-9));
+
+        // capacitances: chip + sink mass per FPGA ~ 150 J/K; the bath is
+        // ~60 L of oil
+        let mut net = ThermalNetwork::new();
+        let chip_node = net.add_node_with_capacitance("chip field", 150.0 * chips);
+        let oil_mass_kg = 0.060 * oil_state.density.kg_per_cubic_meter();
+        let bath_node = net.add_node_with_capacitance(
+            "oil bath",
+            oil_mass_kg * oil_state.specific_heat.joules_per_kg_kelvin(),
+        );
+        let water_node = net.add_boundary("chilled water", self.bath.chiller.setpoint());
+        net.connect(chip_node, bath_node, r_field)?;
+        net.connect(bath_node, water_node, r_hx)?;
+        net.add_heat(chip_node, self.module.fpga_heat(self.op, steady.junction))?;
+        net.add_heat(
+            bath_node,
+            steady.total_heat - self.module.fpga_heat(self.op, steady.junction),
+        )?;
+
+        let trace = net.solve_transient(self.bath.chiller.setpoint(), duration, step)?;
+        Ok(WarmupTrace {
+            trace,
+            chip_node,
+            bath_node,
+        })
+    }
+}
+
+/// The warm-up time series of [`ImmersionModel::warmup`].
+#[derive(Debug, Clone)]
+pub struct WarmupTrace {
+    trace: TransientTrace,
+    chip_node: NodeId,
+    bath_node: NodeId,
+}
+
+impl WarmupTrace {
+    /// Chip-field temperature series.
+    #[must_use]
+    pub fn chip_series(&self) -> Vec<(Seconds, Celsius)> {
+        self.trace.series(self.chip_node)
+    }
+
+    /// Bath (heat-transfer agent) temperature series.
+    #[must_use]
+    pub fn bath_series(&self) -> Vec<(Seconds, Celsius)> {
+        self.trace.series(self.bath_node)
+    }
+
+    /// Final chip-field temperature.
+    #[must_use]
+    pub fn final_chip_temperature(&self) -> Celsius {
+        self.trace.final_temperature(self.chip_node)
+    }
+
+    /// Final bath temperature.
+    #[must_use]
+    pub fn final_bath_temperature(&self) -> Celsius {
+        self.trace.final_temperature(self.bath_node)
+    }
+
+    /// Time for the chip field to settle within `tolerance_k` of its final
+    /// value.
+    #[must_use]
+    pub fn settling_time(&self, tolerance_k: f64) -> Seconds {
+        self.trace.settling_time(self.chip_node, tolerance_k)
+    }
+
+    /// The underlying network trace.
+    #[must_use]
+    pub fn trace(&self) -> &TransientTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skat_meets_the_papers_design_point() {
+        // §3: agent <= 30 °C, FPGA <= 55 °C, 91 W per FPGA, 8736 W total.
+        let r = ImmersionModel::skat().solve().unwrap();
+        assert!(r.coolant_hot.degrees() <= 30.0, "oil = {}", r.coolant_hot);
+        assert!(r.junction.degrees() <= 55.0, "Tj = {}", r.junction);
+        assert!(
+            (r.chip_power.watts() - 91.0).abs() < 4.0,
+            "P = {}",
+            r.chip_power
+        );
+        let fpga_total = r.chip_power.watts() * 96.0;
+        assert!((fpga_total - 8736.0).abs() < 400.0, "total = {fpga_total}");
+    }
+
+    #[test]
+    fn skat_has_headroom_for_ultrascale_plus() {
+        // §3's conclusion: "the designed immersion liquid cooling system
+        // has a reserve and can provide effective cooling for ... the
+        // advanced Xilinx UltraScale+ FPGA family."
+        let r = ImmersionModel::skat_plus().solve().unwrap();
+        assert!(
+            r.junction.degrees() <= 67.5,
+            "SKAT+ must stay within the reliability window: {}",
+            r.junction
+        );
+        // hotter than SKAT, as §4 expects ("approach again their critical
+        // values")
+        let skat = ImmersionModel::skat().solve().unwrap();
+        assert!(r.junction > skat.junction);
+    }
+
+    #[test]
+    fn circulation_operating_point_is_sane() {
+        let m = ImmersionModel::skat();
+        let (flow, electrical) = m.circulation(Celsius::new(28.0)).unwrap();
+        let lpm = flow.as_liters_per_minute();
+        assert!(lpm > 150.0 && lpm < 900.0, "flow = {lpm} L/min");
+        assert!(electrical.watts() > 50.0 && electrical.watts() < 3000.0);
+    }
+
+    #[test]
+    fn warm_oil_circulates_faster() {
+        let m = ImmersionModel::skat();
+        let (cold, _) = m.circulation(Celsius::new(10.0)).unwrap();
+        let (warm, _) = m.circulation(Celsius::new(40.0)).unwrap();
+        assert!(warm > cold);
+    }
+
+    #[test]
+    fn washed_out_paste_raises_junction_but_src_tim_does_not() {
+        let fresh = ImmersionModel::skat()
+            .with_tim(TimMaterial::StandardPaste)
+            .solve()
+            .unwrap();
+        let aged = ImmersionModel::skat()
+            .with_tim(TimMaterial::StandardPaste)
+            .with_aging(TimAging::immersed_months(24.0))
+            .solve()
+            .unwrap();
+        assert!((aged.junction - fresh.junction).kelvins() > 1.5);
+
+        let src_fresh = ImmersionModel::skat().solve().unwrap();
+        let src_aged = ImmersionModel::skat()
+            .with_aging(TimAging::immersed_months(24.0))
+            .solve()
+            .unwrap();
+        assert!((src_aged.junction - src_fresh.junction).kelvins().abs() < 0.01);
+    }
+
+    #[test]
+    fn lower_utilization_runs_cooler() {
+        let full = ImmersionModel::skat().solve().unwrap();
+        let half = ImmersionModel::skat()
+            .with_operating_point(OperatingPoint::at_utilization(0.5))
+            .solve()
+            .unwrap();
+        assert!(half.junction < full.junction);
+        assert!(half.total_heat < full.total_heat);
+    }
+
+    #[test]
+    fn warmup_settles_to_the_steady_state() {
+        let m = ImmersionModel::skat();
+        let steady = m.solve().unwrap();
+        let trace = m.warmup(Seconds::hours(4.0), Seconds::new(2.0)).unwrap();
+        // the lumped 2-node warm-up should land near the coupled solve
+        let chip_final = trace.final_chip_temperature();
+        assert!(
+            (chip_final.degrees() - steady.junction.degrees()).abs() < 6.0,
+            "warmup {} vs steady {}",
+            chip_final,
+            steady.junction
+        );
+        // bath settles near the hot-oil temperature
+        assert!(
+            (trace.final_bath_temperature().degrees() - steady.coolant_hot.degrees()).abs() < 6.0
+        );
+        // and it takes minutes, not seconds (the oil mass is big)
+        assert!(trace.settling_time(0.5).seconds() > 120.0);
+    }
+
+    #[test]
+    fn chip_profile_rises_along_the_flow() {
+        let model = ImmersionModel::skat();
+        let profile = model.chip_profile().unwrap();
+        assert_eq!(profile.len(), 8);
+        for w in profile.windows(2) {
+            assert!(w[1].1 > w[0].1, "streamwise heating must be monotone");
+        }
+        // the hottest chip stays within the paper's envelope and near the
+        // lumped solve's junction figure
+        let steady = model.solve().unwrap();
+        let hottest = profile.last().unwrap().1;
+        assert!(hottest.degrees() <= 55.0, "hottest chip {hottest}");
+        assert!((hottest.degrees() - steady.junction.degrees()).abs() < 3.0);
+        // and the first chip is visibly cooler
+        assert!((hottest - profile[0].1).kelvins() > 0.3);
+    }
+
+    #[test]
+    fn immersion_overhead_beats_air() {
+        let immersion = ImmersionModel::skat().solve().unwrap();
+        let air = crate::AirCooledModel::for_module(rcs_platform::presets::taygeta())
+            .solve()
+            .unwrap();
+        assert!(immersion.cooling_overhead() < air.cooling_overhead());
+    }
+}

@@ -1,0 +1,99 @@
+//! FPGA families spanned by the paper's computational modules.
+
+/// A Xilinx FPGA family, ordered by generation.
+///
+/// The ordering (`Virtex6 < Virtex7 < …`) follows production chronology,
+/// which the paper uses to argue that each family transition adds
+/// 10–15 °C of overheat under air cooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum FpgaFamily {
+    /// Virtex-6 (40 nm) — the Rigel-2 computational module.
+    Virtex6,
+    /// Virtex-7 (28 nm) — the Taygeta computational module.
+    Virtex7,
+    /// Kintex/Virtex UltraScale (20 nm) — the SKAT module.
+    UltraScale,
+    /// UltraScale+ (16 nm FinFET) — the SKAT+ design.
+    UltraScalePlus,
+    /// A projected next-generation family the paper calls "UltraScale 2".
+    UltraScale2,
+}
+
+impl FpgaFamily {
+    /// All families, oldest first.
+    #[must_use]
+    pub fn all() -> [FpgaFamily; 5] {
+        [
+            Self::Virtex6,
+            Self::Virtex7,
+            Self::UltraScale,
+            Self::UltraScalePlus,
+            Self::UltraScale2,
+        ]
+    }
+
+    /// Process node in nanometers.
+    #[must_use]
+    pub fn process_nm(self) -> f64 {
+        match self {
+            Self::Virtex6 => 40.0,
+            Self::Virtex7 => 28.0,
+            Self::UltraScale => 20.0,
+            Self::UltraScalePlus => 16.0,
+            Self::UltraScale2 => 10.0,
+        }
+    }
+
+    /// The junction temperature the paper considers compatible with "high
+    /// reliability of the equipment during a long operation period"
+    /// (65…70 °C): we use the midpoint as the design ceiling.
+    #[must_use]
+    pub fn reliable_junction_limit_c(self) -> f64 {
+        67.5
+    }
+
+    /// Absolute commercial-grade junction limit.
+    #[must_use]
+    pub fn absolute_junction_limit_c(self) -> f64 {
+        85.0
+    }
+}
+
+impl core::fmt::Display for FpgaFamily {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Self::Virtex6 => "Virtex-6",
+            Self::Virtex7 => "Virtex-7",
+            Self::UltraScale => "UltraScale",
+            Self::UltraScalePlus => "UltraScale+",
+            Self::UltraScale2 => "UltraScale 2",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_chronologically_ordered() {
+        let all = FpgaFamily::all();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].process_nm() > w[1].process_nm());
+        }
+    }
+
+    #[test]
+    fn reliability_window_is_the_papers() {
+        let limit = FpgaFamily::UltraScale.reliable_junction_limit_c();
+        assert!((65.0..=70.0).contains(&limit));
+        assert!(FpgaFamily::UltraScale.absolute_junction_limit_c() > limit);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FpgaFamily::UltraScalePlus.to_string(), "UltraScale+");
+    }
+}

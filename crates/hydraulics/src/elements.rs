@@ -1,0 +1,364 @@
+//! Hydraulic branch elements: pipes, minor losses, valves and pumps.
+
+use rcs_fluids::FluidState;
+use rcs_units::{Length, Pressure, VolumeFlow};
+
+/// A straight circular pipe with Darcy-Weisbach friction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pipe {
+    /// Pipe length.
+    pub length: Length,
+    /// Internal diameter.
+    pub diameter: Length,
+    /// Absolute wall roughness (commercial steel ≈ 45 µm, smooth plastic
+    /// and drawn copper ≈ 1.5 µm).
+    pub roughness: Length,
+}
+
+impl Pipe {
+    /// A smooth-walled pipe of the given length and diameter.
+    #[must_use]
+    pub fn smooth(length: Length, diameter: Length) -> Self {
+        Self {
+            length,
+            diameter,
+            roughness: Length::from_meters(1.5e-6),
+        }
+    }
+
+    /// Cross-sectional flow area.
+    #[must_use]
+    pub fn area_m2(&self) -> f64 {
+        core::f64::consts::PI * self.diameter.meters().powi(2) / 4.0
+    }
+
+    /// Darcy friction factor at the given Reynolds number, using the
+    /// Swamee-Jain explicit approximation of the Colebrook equation above
+    /// the transition band and `64/Re` below it.
+    #[must_use]
+    pub fn friction_factor(&self, re: f64) -> f64 {
+        let re = re.max(1.0);
+        let rel_rough = self.roughness.meters() / self.diameter.meters();
+        let turbulent = |re: f64| {
+            let arg = rel_rough / 3.7 + 5.74 / re.powf(0.9);
+            0.25 / arg.log10().powi(2)
+        };
+        if re < 2300.0 {
+            64.0 / re
+        } else if re > 4000.0 {
+            turbulent(re)
+        } else {
+            let w = (re - 2300.0) / 1700.0;
+            (64.0 / 2300.0) * (1.0 - w) + turbulent(4000.0) * w
+        }
+    }
+
+    /// Pressure loss at flow `q` (signed: loss opposes the flow direction).
+    #[must_use]
+    pub fn pressure_loss(&self, q: VolumeFlow, fluid: &FluidState) -> Pressure {
+        let area = self.area_m2();
+        let v = q.cubic_meters_per_second() / area;
+        let rho = fluid.density.kg_per_cubic_meter();
+        let mu = fluid.viscosity.pascal_seconds();
+        let re = rho * v.abs() * self.diameter.meters() / mu;
+        let f = self.friction_factor(re);
+        let dp = f * self.length.meters() / self.diameter.meters() * rho * v * v.abs() / 2.0;
+        Pressure::from_pascals(dp)
+    }
+
+    /// Derivative of the pressure loss with respect to flow, in Pa/(m³/s).
+    /// Never returns less than a small positive floor, keeping the Newton
+    /// matrix well conditioned near zero flow.
+    #[must_use]
+    pub fn loss_derivative(&self, q: VolumeFlow, fluid: &FluidState) -> f64 {
+        // numerical derivative is robust across the laminar/turbulent seam
+        let h = (q.cubic_meters_per_second().abs() * 1e-4).max(1e-9);
+        let up = self.pressure_loss(
+            VolumeFlow::from_cubic_meters_per_second(q.cubic_meters_per_second() + h),
+            fluid,
+        );
+        let dn = self.pressure_loss(
+            VolumeFlow::from_cubic_meters_per_second(q.cubic_meters_per_second() - h),
+            fluid,
+        );
+        ((up.pascals() - dn.pascals()) / (2.0 * h)).max(1e-3)
+    }
+}
+
+/// A trim or balancing valve modeled as an adjustable minor loss.
+///
+/// The loss coefficient of the fully open valve is `k_open`; partially
+/// closing scales the coefficient by `1/opening²` (a standard equal-area
+/// orifice model). `opening == 0` means shut.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Valve {
+    /// Loss coefficient K when fully open.
+    pub k_open: f64,
+    /// Reference diameter defining the velocity for the K value.
+    pub diameter: Length,
+    /// Opening fraction in `(0, 1]`.
+    pub opening: f64,
+}
+
+impl Valve {
+    /// A fully open balancing valve.
+    #[must_use]
+    pub fn balancing(diameter: Length) -> Self {
+        Self {
+            k_open: 2.5,
+            diameter,
+            opening: 1.0,
+        }
+    }
+
+    /// Effective loss coefficient at the current opening.
+    #[must_use]
+    pub fn k_effective(&self) -> f64 {
+        let opening = self.opening.clamp(1e-3, 1.0);
+        self.k_open / (opening * opening)
+    }
+
+    /// Pressure loss at flow `q`.
+    #[must_use]
+    pub fn pressure_loss(&self, q: VolumeFlow, fluid: &FluidState) -> Pressure {
+        let area = core::f64::consts::PI * self.diameter.meters().powi(2) / 4.0;
+        let v = q.cubic_meters_per_second() / area;
+        let rho = fluid.density.kg_per_cubic_meter();
+        Pressure::from_pascals(self.k_effective() * rho * v * v.abs() / 2.0)
+    }
+
+    /// Derivative of the pressure loss with respect to flow.
+    #[must_use]
+    pub fn loss_derivative(&self, q: VolumeFlow, fluid: &FluidState) -> f64 {
+        let area = core::f64::consts::PI * self.diameter.meters().powi(2) / 4.0;
+        let rho = fluid.density.kg_per_cubic_meter();
+        (self.k_effective() * rho * q.cubic_meters_per_second().abs() / (area * area)).max(1e-3)
+    }
+}
+
+/// A centrifugal pump with a quadratic head curve
+/// `ΔP(Q) = p0 · (1 − (Q/q_max)²)` for forward flow.
+///
+/// Backflow is blocked by an integral check valve (modeled as shutoff head
+/// plus a steep resistive slope), matching how the paper's circulation
+/// pumps behave when a parallel loop tries to reverse them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PumpCurve {
+    /// Shutoff (zero-flow) pressure rise.
+    pub shutoff: Pressure,
+    /// Flow at which the delivered head reaches zero.
+    pub max_flow: VolumeFlow,
+}
+
+impl PumpCurve {
+    /// Creates a pump from its shutoff head and zero-head flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not positive.
+    #[must_use]
+    pub fn new(shutoff: Pressure, max_flow: VolumeFlow) -> Self {
+        assert!(
+            shutoff.pascals() > 0.0,
+            "pump shutoff head must be positive"
+        );
+        assert!(
+            max_flow.cubic_meters_per_second() > 0.0,
+            "pump max flow must be positive"
+        );
+        Self { shutoff, max_flow }
+    }
+
+    /// Pressure *gain* delivered at flow `q` (negative for `q > max_flow`).
+    #[must_use]
+    pub fn pressure_gain(&self, q: VolumeFlow) -> Pressure {
+        let qn = q.cubic_meters_per_second() / self.max_flow.cubic_meters_per_second();
+        if qn >= 0.0 {
+            Pressure::from_pascals(self.shutoff.pascals() * (1.0 - qn * qn))
+        } else {
+            // check valve: steeply resist reverse flow
+            Pressure::from_pascals(self.shutoff.pascals() * (1.0 + 1e3 * qn.abs()))
+        }
+    }
+
+    /// Derivative of the *loss* contribution (`−gain`) with respect to
+    /// flow; non-negative by construction.
+    #[must_use]
+    pub fn loss_derivative(&self, q: VolumeFlow) -> f64 {
+        let q_max = self.max_flow.cubic_meters_per_second();
+        let qn = q.cubic_meters_per_second() / q_max;
+        if qn >= 0.0 {
+            (2.0 * self.shutoff.pascals() * qn / q_max).max(1e-3)
+        } else {
+            1e3 * self.shutoff.pascals() / q_max
+        }
+    }
+
+    /// Hydraulic power delivered to the fluid at flow `q`.
+    #[must_use]
+    pub fn hydraulic_power(&self, q: VolumeFlow) -> rcs_units::Power {
+        self.pressure_gain(q) * q
+    }
+}
+
+/// One element of a hydraulic branch. A branch's total pressure drop is
+/// the sum over its elements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Element {
+    /// A straight pipe segment.
+    Pipe(Pipe),
+    /// A lumped minor loss (bends, tees, fittings, heat-exchanger passages)
+    /// expressed as a K factor at a reference diameter.
+    MinorLoss {
+        /// Loss coefficient.
+        k: f64,
+        /// Reference diameter defining the velocity.
+        diameter: Length,
+    },
+    /// An adjustable valve.
+    Valve(Valve),
+    /// A pump (adds pressure instead of dropping it).
+    Pump(PumpCurve),
+}
+
+impl Element {
+    /// Signed pressure drop across the element at flow `q` (pumps return
+    /// negative drops, i.e. gains).
+    #[must_use]
+    pub fn pressure_drop(&self, q: VolumeFlow, fluid: &FluidState) -> Pressure {
+        match self {
+            Self::Pipe(p) => p.pressure_loss(q, fluid),
+            Self::MinorLoss { k, diameter } => {
+                let area = core::f64::consts::PI * diameter.meters().powi(2) / 4.0;
+                let v = q.cubic_meters_per_second() / area;
+                let rho = fluid.density.kg_per_cubic_meter();
+                Pressure::from_pascals(k * rho * v * v.abs() / 2.0)
+            }
+            Self::Valve(v) => v.pressure_loss(q, fluid),
+            Self::Pump(p) => Pressure::from_pascals(-p.pressure_gain(q).pascals()),
+        }
+    }
+
+    /// Derivative of the pressure drop with respect to flow (non-negative).
+    #[must_use]
+    pub fn drop_derivative(&self, q: VolumeFlow, fluid: &FluidState) -> f64 {
+        match self {
+            Self::Pipe(p) => p.loss_derivative(q, fluid),
+            Self::MinorLoss { k, diameter } => {
+                let area = core::f64::consts::PI * diameter.meters().powi(2) / 4.0;
+                let rho = fluid.density.kg_per_cubic_meter();
+                (k * rho * q.cubic_meters_per_second().abs() / (area * area)).max(1e-3)
+            }
+            Self::Valve(v) => v.loss_derivative(q, fluid),
+            Self::Pump(p) => p.loss_derivative(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcs_fluids::Coolant;
+    use rcs_units::Celsius;
+
+    fn water() -> FluidState {
+        Coolant::water().state(Celsius::new(20.0))
+    }
+
+    fn pipe() -> Pipe {
+        Pipe::smooth(Length::from_meters(10.0), Length::millimeters(25.0))
+    }
+
+    #[test]
+    fn friction_factor_laminar_and_turbulent() {
+        let p = pipe();
+        assert!((p.friction_factor(1000.0) - 0.064).abs() < 1e-12);
+        // smooth pipe at Re = 1e5: f ~ 0.018
+        let f = p.friction_factor(1e5);
+        assert!((f - 0.018).abs() < 0.002, "f = {f}");
+    }
+
+    #[test]
+    fn pressure_loss_hand_checked() {
+        // 25 mm smooth pipe, 10 m, 2 m/s water: Re ~ 5e4, f ~ 0.021
+        // dp = f L/D rho v^2/2 ~ 0.021 * 400 * 998 * 2 = ~16.7 kPa
+        let p = pipe();
+        let q = VolumeFlow::from_cubic_meters_per_second(2.0 * p.area_m2());
+        let dp = p.pressure_loss(q, &water()).as_kilopascals();
+        assert!(dp > 12.0 && dp < 22.0, "dp = {dp} kPa");
+    }
+
+    #[test]
+    fn pressure_loss_is_odd_in_flow() {
+        let p = pipe();
+        let q = VolumeFlow::liters_per_minute(40.0);
+        let fwd = p.pressure_loss(q, &water()).pascals();
+        let rev = p.pressure_loss(-q, &water()).pascals();
+        assert!((fwd + rev).abs() < 1e-9);
+        assert!(fwd > 0.0);
+    }
+
+    #[test]
+    fn loss_derivative_positive_even_at_zero() {
+        let p = pipe();
+        let d = p.loss_derivative(VolumeFlow::from_cubic_meters_per_second(0.0), &water());
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn valve_closing_raises_loss() {
+        let mut v = Valve::balancing(Length::millimeters(25.0));
+        let q = VolumeFlow::liters_per_minute(40.0);
+        let open = v.pressure_loss(q, &water()).pascals();
+        v.opening = 0.5;
+        let half = v.pressure_loss(q, &water()).pascals();
+        assert!((half / open - 4.0).abs() < 1e-9); // 1/0.5² = 4
+    }
+
+    #[test]
+    fn pump_curve_endpoints() {
+        let p = PumpCurve::new(
+            Pressure::kilopascals(50.0),
+            VolumeFlow::liters_per_minute(120.0),
+        );
+        assert!((p.pressure_gain(VolumeFlow::ZERO).as_kilopascals() - 50.0).abs() < 1e-12);
+        let at_max = p.pressure_gain(VolumeFlow::liters_per_minute(120.0));
+        assert!(at_max.pascals().abs() < 1e-9);
+        // reverse flow is strongly resisted
+        assert!(
+            p.pressure_gain(VolumeFlow::liters_per_minute(-10.0))
+                .pascals()
+                > p.shutoff.pascals()
+        );
+    }
+
+    #[test]
+    fn pump_hydraulic_power_peaks_mid_curve() {
+        let p = PumpCurve::new(
+            Pressure::kilopascals(50.0),
+            VolumeFlow::liters_per_minute(120.0),
+        );
+        let mid = p
+            .hydraulic_power(VolumeFlow::liters_per_minute(60.0))
+            .watts();
+        let low = p
+            .hydraulic_power(VolumeFlow::liters_per_minute(5.0))
+            .watts();
+        let high = p
+            .hydraulic_power(VolumeFlow::liters_per_minute(118.0))
+            .watts();
+        assert!(mid > low && mid > high);
+    }
+
+    #[test]
+    fn minor_loss_quadratic() {
+        let e = Element::MinorLoss {
+            k: 4.0,
+            diameter: Length::millimeters(25.0),
+        };
+        let q1 = VolumeFlow::liters_per_minute(20.0);
+        let q2 = VolumeFlow::liters_per_minute(40.0);
+        let r = e.pressure_drop(q2, &water()).pascals() / e.pressure_drop(q1, &water()).pascals();
+        assert!((r - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for hydraulic network construction and solving.
+
+use rcs_numeric::NumericError;
+
+/// Error returned by hydraulic network operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HydraulicError {
+    /// A junction id does not belong to this network.
+    UnknownJunction {
+        /// Offending index.
+        index: usize,
+    },
+    /// A branch id does not belong to this network.
+    UnknownBranch {
+        /// Offending index.
+        index: usize,
+    },
+    /// A branch connects a junction to itself.
+    SelfLoop {
+        /// The junction in question.
+        index: usize,
+    },
+    /// A geometric or physical parameter was not positive.
+    NonPositiveParameter {
+        /// Name of the parameter.
+        parameter: &'static str,
+    },
+    /// A branch was built with no elements.
+    EmptyBranch,
+    /// The Newton iteration failed to reach the continuity tolerance.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final worst continuity residual in m³/s.
+        residual: f64,
+    },
+    /// An underlying numeric kernel failed.
+    Numeric(NumericError),
+}
+
+impl core::fmt::Display for HydraulicError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::UnknownJunction { index } => write!(f, "unknown junction index {index}"),
+            Self::UnknownBranch { index } => write!(f, "unknown branch index {index}"),
+            Self::SelfLoop { index } => write!(f, "branch connects junction {index} to itself"),
+            Self::NonPositiveParameter { parameter } => write!(f, "non-positive {parameter}"),
+            Self::EmptyBranch => write!(f, "branch has no elements"),
+            Self::NoConvergence { iterations, residual } => write!(
+                f,
+                "flow solver did not converge after {iterations} iterations (residual {residual:.3e} m³/s)"
+            ),
+            Self::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HydraulicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for HydraulicError {
+    fn from(e: NumericError) -> Self {
+        Self::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_units() {
+        let e = HydraulicError::NoConvergence {
+            iterations: 50,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("m³/s"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Damped global-gradient (Newton) solver for the flow distribution.
+//!
+//! The algorithm is Todini & Pilati's global gradient method as used by
+//! EPANET: each outer iteration linearizes every branch's head-loss curve
+//! around its current flow, solves the resulting nodal pressure system with
+//! dense elimination, and updates branch flows from the new pressures. An
+//! under-relaxation factor keeps the quadratic loss curves from
+//! oscillating.
+
+use rcs_fluids::FluidState;
+use rcs_numeric::Matrix;
+use rcs_units::VolumeFlow;
+
+use crate::error::HydraulicError;
+use crate::network::HydraulicNetwork;
+use crate::solution::HydraulicSolution;
+
+/// Convergence tolerance on the worst junction continuity residual, m³/s.
+const CONTINUITY_TOL: f64 = 1e-9;
+/// Maximum outer Newton iterations.
+const MAX_ITER: usize = 200;
+/// Under-relaxation on flow updates.
+const RELAX: f64 = 0.7;
+
+impl HydraulicNetwork {
+    /// Solves the steady flow distribution for the given fluid state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HydraulicError::NoConvergence`] if the continuity residual
+    /// does not fall below tolerance, and propagates singular-matrix
+    /// failures from degenerate networks.
+    pub fn solve(&self, fluid: &FluidState) -> Result<HydraulicSolution, HydraulicError> {
+        let n_junctions = self.junctions.len();
+        let reference = self.reference.map_or(0, |r| r.0);
+        // Unknown pressure nodes: all but the reference.
+        let unknowns: Vec<usize> = (0..n_junctions).filter(|&j| j != reference).collect();
+        let col_of: std::collections::HashMap<usize, usize> =
+            unknowns.iter().enumerate().map(|(c, &j)| (j, c)).collect();
+        let n = unknowns.len();
+
+        // Initial guess: a small uniform flow through every open branch.
+        let mut flows: Vec<f64> = self
+            .branches
+            .iter()
+            .map(|b| if b.open { 1e-4 } else { 0.0 })
+            .collect();
+        let mut pressures = vec![0.0; n_junctions];
+
+        let mut last_residual = f64::INFINITY;
+        for iter in 0..MAX_ITER {
+            // Linearize each open branch: dp(Q) ~ h + h' (Qnew - Q).
+            let mut h = vec![0.0; self.branches.len()];
+            let mut d = vec![0.0; self.branches.len()];
+            for (k, b) in self.branches.iter().enumerate() {
+                if !b.open {
+                    continue;
+                }
+                let q = VolumeFlow::from_cubic_meters_per_second(flows[k]);
+                h[k] = b.pressure_drop(q, fluid).pascals();
+                d[k] = 1.0 / b.drop_derivative(q, fluid).max(1e-9);
+            }
+
+            // Assemble nodal system A p = rhs over unknown junctions.
+            let mut a = Matrix::zeros(n.max(1), n.max(1));
+            let mut rhs = vec![0.0; n.max(1)];
+            if n > 0 {
+                for (k, b) in self.branches.iter().enumerate() {
+                    if !b.open {
+                        continue;
+                    }
+                    let (i, j) = (b.from.0, b.to.0);
+                    // Linearized: Qnew = Q + D*(p_i - p_j - h)
+                    let q_lin = flows[k] - d[k] * h[k];
+                    if let Some(&ci) = col_of.get(&i) {
+                        a[(ci, ci)] += d[k];
+                        rhs[ci] -= q_lin;
+                        if let Some(&cj) = col_of.get(&j) {
+                            a[(ci, cj)] -= d[k];
+                        }
+                    }
+                    if let Some(&cj) = col_of.get(&j) {
+                        a[(cj, cj)] += d[k];
+                        rhs[cj] += q_lin;
+                        if let Some(&ci) = col_of.get(&i) {
+                            a[(cj, ci)] -= d[k];
+                        }
+                    }
+                }
+                // Junctions with no open branch would produce a zero row;
+                // pin them to the reference pressure.
+                for (row, &j) in unknowns.iter().enumerate() {
+                    let isolated = (0..n).all(|c| a[(row, c)] == 0.0);
+                    if isolated {
+                        a[(row, row)] = 1.0;
+                        rhs[row] = 0.0;
+                        let _ = j;
+                    }
+                }
+
+                let p = a.solve(&rhs)?;
+                for (c, &j) in unknowns.iter().enumerate() {
+                    pressures[j] = p[c];
+                }
+                pressures[reference] = 0.0;
+            }
+
+            // Flow update with under-relaxation.
+            for (k, b) in self.branches.iter().enumerate() {
+                if !b.open {
+                    flows[k] = 0.0;
+                    continue;
+                }
+                let dp = pressures[b.from.0] - pressures[b.to.0];
+                let q_new = flows[k] + d[k] * (dp - h[k]);
+                flows[k] = RELAX * q_new + (1.0 - RELAX) * flows[k];
+            }
+
+            // Continuity check at every junction...
+            let mut residual = vec![0.0; n_junctions];
+            for (k, b) in self.branches.iter().enumerate() {
+                residual[b.from.0] -= flows[k];
+                residual[b.to.0] += flows[k];
+            }
+            residual[reference] = 0.0; // the reference absorbs the closure
+            let worst = residual.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+            let scale = flows.iter().fold(0.0f64, |m, q| m.max(q.abs())).max(1e-6);
+
+            // ...plus head closure on every open branch. Continuity alone is
+            // trivially satisfied on a pure loop (any circulating flow
+            // conserves mass), so the energy equation must be checked too.
+            let mut worst_head = 0.0f64;
+            let mut head_scale = 1.0f64;
+            for (k, b) in self.branches.iter().enumerate() {
+                if !b.open {
+                    continue;
+                }
+                let q = VolumeFlow::from_cubic_meters_per_second(flows[k]);
+                let drop = b.pressure_drop(q, fluid).pascals();
+                let dp = pressures[b.from.0] - pressures[b.to.0];
+                worst_head = worst_head.max((drop - dp).abs());
+                head_scale = head_scale.max(drop.abs()).max(dp.abs());
+            }
+
+            if worst < CONTINUITY_TOL.max(1e-9 * scale)
+                && worst_head < 1e-7 * head_scale
+                && iter > 2
+            {
+                return Ok(HydraulicSolution::new(
+                    self.clone(),
+                    *fluid,
+                    pressures,
+                    flows,
+                    iter + 1,
+                    worst,
+                ));
+            }
+            last_residual = worst.max(worst_head / head_scale * scale);
+        }
+        Err(HydraulicError::NoConvergence {
+            iterations: MAX_ITER,
+            residual: last_residual,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{Element, Pipe, PumpCurve, Valve};
+    use rcs_fluids::Coolant;
+    use rcs_units::{Celsius, Length, Pressure};
+
+    fn water() -> FluidState {
+        Coolant::water().state(Celsius::new(20.0))
+    }
+
+    fn pipe(len_m: f64) -> Element {
+        Element::Pipe(Pipe::smooth(
+            Length::from_meters(len_m),
+            Length::millimeters(25.0),
+        ))
+    }
+
+    fn pump() -> Element {
+        Element::Pump(PumpCurve::new(
+            Pressure::kilopascals(60.0),
+            VolumeFlow::liters_per_minute(200.0),
+        ))
+    }
+
+    #[test]
+    fn single_loop_operating_point() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let loop_branch = net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        let pump_branch = net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let s = net.solve(&water()).unwrap();
+        let q = s.flow(loop_branch);
+        // pump and pipe carry the same flow
+        assert!(
+            (q.cubic_meters_per_second() - s.flow(pump_branch).cubic_meters_per_second()).abs()
+                < 1e-9
+        );
+        // and the pressure gain matches the loss at that flow
+        let gain = match pump() {
+            Element::Pump(p) => p.pressure_gain(q).pascals(),
+            _ => unreachable!(),
+        };
+        let loss = match pipe(20.0) {
+            Element::Pipe(p) => p.pressure_loss(q, &water()).pascals(),
+            _ => unreachable!(),
+        };
+        assert!(
+            (gain - loss).abs() / loss < 1e-6,
+            "gain {gain}, loss {loss}"
+        );
+        assert!(q.as_liters_per_minute() > 50.0 && q.as_liters_per_minute() < 200.0);
+    }
+
+    #[test]
+    fn two_identical_parallel_branches_split_evenly() {
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let b1 = net.add_branch("loop1", s, r, vec![pipe(10.0)]).unwrap();
+        let b2 = net.add_branch("loop2", s, r, vec![pipe(10.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        let q1 = sol.flow(b1).cubic_meters_per_second();
+        let q2 = sol.flow(b2).cubic_meters_per_second();
+        assert!((q1 - q2).abs() / q1 < 1e-6, "q1 {q1}, q2 {q2}");
+    }
+
+    #[test]
+    fn unequal_parallel_branches_favor_the_short_one() {
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let short = net.add_branch("short", s, r, vec![pipe(5.0)]).unwrap();
+        let long = net.add_branch("long", s, r, vec![pipe(40.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        assert!(
+            sol.flow(short).cubic_meters_per_second()
+                > 1.5 * sol.flow(long).cubic_meters_per_second()
+        );
+    }
+
+    #[test]
+    fn closed_branch_carries_no_flow() {
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let b1 = net.add_branch("loop1", s, r, vec![pipe(10.0)]).unwrap();
+        let b2 = net.add_branch("loop2", s, r, vec![pipe(10.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let before = net
+            .solve(&water())
+            .unwrap()
+            .flow(b1)
+            .cubic_meters_per_second();
+        net.set_branch_open(b2, false).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        assert_eq!(sol.flow(b2).cubic_meters_per_second(), 0.0);
+        // survivor takes more than before, but less than double (pump curve)
+        let after = sol.flow(b1).cubic_meters_per_second();
+        assert!(after > before);
+        assert!(after < 2.0 * before);
+    }
+
+    #[test]
+    fn valve_throttling_reduces_branch_flow() {
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let v = Element::Valve(Valve::balancing(Length::millimeters(25.0)));
+        let b1 = net.add_branch("valved", s, r, vec![pipe(10.0), v]).unwrap();
+        let b2 = net.add_branch("plain", s, r, vec![pipe(10.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let open = net.solve(&water()).unwrap();
+        net.set_valve_opening(b1, 0.3).unwrap();
+        let throttled = net.solve(&water()).unwrap();
+        assert!(
+            throttled.flow(b1).cubic_meters_per_second() < open.flow(b1).cubic_meters_per_second()
+        );
+        assert!(
+            throttled.flow(b2).cubic_meters_per_second() > open.flow(b2).cubic_meters_per_second()
+        );
+    }
+
+    #[test]
+    fn mass_is_conserved_at_every_junction() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let c = net.add_junction("c");
+        net.add_branch("ab", a, b, vec![pipe(8.0)]).unwrap();
+        net.add_branch("bc1", b, c, vec![pipe(12.0)]).unwrap();
+        net.add_branch("bc2", b, c, vec![pipe(18.0)]).unwrap();
+        net.add_branch("pump", c, a, vec![pump()]).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        for j in 0..net.junction_count() {
+            let res = sol.continuity_residual(crate::JunctionId(j));
+            assert!(
+                res.cubic_meters_per_second().abs() < 1e-8,
+                "junction {j}: {res:?}"
+            );
+        }
+    }
+}

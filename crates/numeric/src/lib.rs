@@ -1,0 +1,33 @@
+//! Minimal numerical kernels for the `rcs-sim` solvers.
+//!
+//! Implemented from scratch so that the workspace has no external numeric
+//! dependencies: a dense row-major matrix with LU-style Gaussian
+//! elimination ([`Matrix::solve`]), a fixed-step fourth-order Runge-Kutta
+//! integrator ([`ode::rk4`]), and bracketing/Newton root finders
+//! ([`root`]).
+//!
+//! These kernels are sized for the problems in this workspace — thermal
+//! networks of a few hundred nodes and hydraulic networks of a few dozen
+//! junctions — where dense `O(n³)` elimination is faster and far simpler
+//! than a sparse solver.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcs_numeric::Matrix;
+//!
+//! let mut a = Matrix::zeros(2, 2);
+//! a[(0, 0)] = 2.0;
+//! a[(1, 1)] = 4.0;
+//! let x = a.solve(&[2.0, 8.0])?;
+//! assert_eq!(x, vec![1.0, 2.0]);
+//! # Ok::<(), rcs_numeric::NumericError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod matrix;
+pub mod ode;
+pub mod root;
+
+pub use matrix::{Matrix, NumericError};

@@ -1,0 +1,179 @@
+//! Scalar root finding: bisection and damped Newton.
+
+use crate::matrix::NumericError;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// Requires a sign change over the bracket. Converges to an interval of
+/// width `tol` or to an exact zero.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] if `f(lo)` and `f(hi)` have the
+/// same sign, or if `max_iter` halvings do not reach `tol`.
+///
+/// # Examples
+///
+/// ```
+/// let root = rcs_numeric::root::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), rcs_numeric::NumericError>(())
+/// ```
+pub fn bisect<F>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(NumericError::NoConvergence {
+            iterations: 0,
+            residual: f_lo.min(f_hi),
+        });
+    }
+    for i in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid == 0.0 || (hi - lo) < tol {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+        let _ = i;
+    }
+    Err(NumericError::NoConvergence {
+        iterations: max_iter,
+        residual: hi - lo,
+    })
+}
+
+/// Damped Newton iteration with a numerical derivative.
+///
+/// Each step is halved (up to 30 times) until the residual norm decreases,
+/// which makes the iteration robust on the stiff, monotone functions that
+/// appear in pump/system operating-point intersections.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NoConvergence`] if the residual does not fall
+/// below `tol` within `max_iter` iterations, and
+/// [`NumericError::SingularMatrix`] if the numerical derivative vanishes.
+///
+/// # Examples
+///
+/// ```
+/// let root = rcs_numeric::root::newton(|x| x * x * x - 8.0, 5.0, 1e-12, 100)?;
+/// assert!((root - 2.0).abs() < 1e-9);
+/// # Ok::<(), rcs_numeric::NumericError>(())
+/// ```
+pub fn newton<F>(mut f: F, x0: f64, tol: f64, max_iter: usize) -> Result<f64, NumericError>
+where
+    F: FnMut(f64) -> f64,
+{
+    let mut x = x0;
+    let mut fx = f(x);
+    for iter in 0..max_iter {
+        if fx.abs() < tol {
+            return Ok(x);
+        }
+        let h = 1e-7 * x.abs().max(1e-7);
+        let dfdx = (f(x + h) - fx) / h;
+        if dfdx.abs() < 1e-300 {
+            return Err(NumericError::SingularMatrix { pivot: iter });
+        }
+        let mut step = fx / dfdx;
+        // damping: halve until improvement
+        let mut damped = false;
+        for _ in 0..30 {
+            let candidate = x - step;
+            let f_candidate = f(candidate);
+            if f_candidate.abs() < fx.abs() {
+                x = candidate;
+                fx = f_candidate;
+                damped = true;
+                break;
+            }
+            step *= 0.5;
+        }
+        if !damped {
+            return Err(NumericError::NoConvergence {
+                iterations: iter,
+                residual: fx,
+            });
+        }
+    }
+    if fx.abs() < tol {
+        Ok(x)
+    } else {
+        Err(NumericError::NoConvergence {
+            iterations: max_iter,
+            residual: fx,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(NumericError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_exact_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn newton_cube_root() {
+        let r = newton(|x| x * x * x - 27.0, 10.0, 1e-12, 100).unwrap();
+        assert!((r - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_handles_flat_start_with_damping() {
+        // atan has a small derivative far out; damping keeps it stable.
+        let r = newton(|x| x.atan(), 20.0, 1e-12, 200).unwrap();
+        assert!(r.abs() < 1e-9);
+    }
+
+    #[test]
+    fn newton_pump_operating_point() {
+        // Pump head 50 - 3 q², system 10 + 2 q²: intersection q = sqrt(8).
+        let r = newton(
+            |q| (50.0 - 3.0 * q * q) - (10.0 + 2.0 * q * q),
+            1.0,
+            1e-12,
+            100,
+        )
+        .unwrap();
+        assert!((r - 8f64.sqrt()).abs() < 1e-9);
+    }
+}

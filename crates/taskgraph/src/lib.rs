@@ -1,0 +1,44 @@
+//! Task information graphs and their mapping onto FPGA computational
+//! fields.
+//!
+//! The paper's §1 computational model: "An RCS provides adaptation of its
+//! architecture to the structure of any task … a special-purpose computer
+//! device is created \[that\] hardwarily implements all the computational
+//! operations of the information graph of the task with the minimum
+//! delays." This crate makes that model concrete:
+//!
+//! - [`TaskGraph`] — a DAG of arithmetic operations with per-operation
+//!   logic-cell costs and pipeline latencies, with validation, topological
+//!   analysis and critical-path extraction.
+//! - [`workloads`] — generators for the task classes the RCS literature
+//!   targets: grid stencils (dense linear algebra), spin-glass Monte Carlo
+//!   (the JANUS machine), molecular-dynamics force pipelines (Anton), and
+//!   seeded random DAGs for property testing.
+//! - [`FpgaField`] / [`map_onto`] — hardwires the graph as a fully
+//!   pipelined datapath, replicates it across the field's logic capacity
+//!   (data parallelism), and reports throughput plus the per-FPGA
+//!   **utilization** that feeds the `rcs-devices` power model — closing
+//!   the loop from workload to watts that the thermal experiments need.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcs_devices::FpgaPart;
+//! use rcs_taskgraph::{map_onto, workloads, FpgaField};
+//!
+//! let task = workloads::stencil_5point();
+//! let field = FpgaField::uniform(FpgaPart::xcku095(), 8); // one SKAT CCB
+//! let mapping = map_onto(&task, &field)?;
+//! assert!(mapping.utilization > 0.5 && mapping.utilization <= 1.0);
+//! assert!(mapping.throughput.ops_per_second() > 1e12);
+//! # Ok::<(), rcs_taskgraph::MapError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod mapping;
+pub mod workloads;
+
+pub use graph::{GraphError, OpKind, OpNode, TaskGraph};
+pub use mapping::{field_peak, map_onto, map_time_multiplexed, FpgaField, MapError, Mapping};

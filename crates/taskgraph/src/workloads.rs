@@ -1,0 +1,313 @@
+//! Generators for the workload classes RCS machines target.
+//!
+//! The paper's reference list motivates three concrete classes: dense
+//! grid computations, spin-glass Monte Carlo (the JANUS machine, the
+//! paper's refs \[2, 3\]) and molecular-dynamics force pipelines (Anton,
+//! ref \[4\]).
+//! A seeded random-DAG generator supports property testing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::graph::{OpKind, TaskGraph};
+
+/// A 5-point stencil update (2-D heat/Laplace relaxation): four neighbor
+/// loads, weighted sum, one store.
+///
+/// # Examples
+///
+/// ```
+/// let g = rcs_taskgraph::workloads::stencil_5point();
+/// assert!(g.op_count() > 8);
+/// ```
+#[must_use]
+pub fn stencil_5point() -> TaskGraph {
+    let mut g = TaskGraph::new("stencil-5pt");
+    let loads: Vec<usize> = (0..5).map(|_| g.add_op(OpKind::Memory)).collect();
+    let muls: Vec<usize> = (0..5).map(|_| g.add_op(OpKind::Mul)).collect();
+    for (l, m) in loads.iter().zip(&muls) {
+        g.add_edge(*l, *m).expect("valid");
+    }
+    // adder tree
+    let a1 = g.add_op(OpKind::Add);
+    let a2 = g.add_op(OpKind::Add);
+    let a3 = g.add_op(OpKind::Add);
+    let a4 = g.add_op(OpKind::Add);
+    g.add_edge(muls[0], a1).expect("valid");
+    g.add_edge(muls[1], a1).expect("valid");
+    g.add_edge(muls[2], a2).expect("valid");
+    g.add_edge(muls[3], a2).expect("valid");
+    g.add_edge(a1, a3).expect("valid");
+    g.add_edge(a2, a3).expect("valid");
+    g.add_edge(a3, a4).expect("valid");
+    g.add_edge(muls[4], a4).expect("valid");
+    let store = g.add_op(OpKind::Memory);
+    g.add_edge(a4, store).expect("valid");
+    g
+}
+
+/// One spin update of an Edwards-Anderson spin glass in the JANUS style:
+/// six neighbor couplings, energy sum, Metropolis compare against a
+/// random tap.
+#[must_use]
+pub fn spin_glass_mc() -> TaskGraph {
+    let mut g = TaskGraph::new("spin-glass-mc");
+    let neighbors: Vec<usize> = (0..6).map(|_| g.add_op(OpKind::Memory)).collect();
+    let couplings: Vec<usize> = (0..6).map(|_| g.add_op(OpKind::Compare)).collect();
+    for (n, c) in neighbors.iter().zip(&couplings) {
+        g.add_edge(*n, *c).expect("valid");
+    }
+    // energy adder tree
+    let mut frontier = couplings;
+    while frontier.len() > 1 {
+        let mut next = Vec::new();
+        for pair in frontier.chunks(2) {
+            if pair.len() == 2 {
+                let a = g.add_op(OpKind::Add);
+                g.add_edge(pair[0], a).expect("valid");
+                g.add_edge(pair[1], a).expect("valid");
+                next.push(a);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        frontier = next;
+    }
+    let rng = g.add_op(OpKind::Random);
+    let metropolis = g.add_op(OpKind::Compare);
+    g.add_edge(frontier[0], metropolis).expect("valid");
+    g.add_edge(rng, metropolis).expect("valid");
+    let flip = g.add_op(OpKind::Memory);
+    g.add_edge(metropolis, flip).expect("valid");
+    g
+}
+
+/// A pairwise nonbonded force evaluation in the Anton style: distance
+/// vector, r², inverse square root chain, Lennard-Jones terms,
+/// force accumulation.
+#[must_use]
+pub fn md_force_pipeline() -> TaskGraph {
+    let mut g = TaskGraph::new("md-force");
+    // dx, dy, dz
+    let deltas: Vec<usize> = (0..3).map(|_| g.add_op(OpKind::Add)).collect();
+    let squares: Vec<usize> = (0..3).map(|_| g.add_op(OpKind::Mul)).collect();
+    for (d, s) in deltas.iter().zip(&squares) {
+        g.add_edge(*d, *s).expect("valid");
+    }
+    let r2a = g.add_op(OpKind::Add);
+    let r2 = g.add_op(OpKind::Add);
+    g.add_edge(squares[0], r2a).expect("valid");
+    g.add_edge(squares[1], r2a).expect("valid");
+    g.add_edge(r2a, r2).expect("valid");
+    g.add_edge(squares[2], r2).expect("valid");
+    let inv = g.add_op(OpKind::Div);
+    let sqrt = g.add_op(OpKind::Sqrt);
+    g.add_edge(r2, inv).expect("valid");
+    g.add_edge(inv, sqrt).expect("valid");
+    // r^-6 and r^-12 towers
+    let r6 = g.add_op(OpKind::Mul);
+    let r12 = g.add_op(OpKind::Mul);
+    g.add_edge(sqrt, r6).expect("valid");
+    g.add_edge(r6, r12).expect("valid");
+    // LJ terms and force magnitude
+    let t1 = g.add_op(OpKind::MulAdd);
+    let t2 = g.add_op(OpKind::MulAdd);
+    g.add_edge(r6, t1).expect("valid");
+    g.add_edge(r12, t2).expect("valid");
+    let fmag = g.add_op(OpKind::Add);
+    g.add_edge(t1, fmag).expect("valid");
+    g.add_edge(t2, fmag).expect("valid");
+    // project back onto x, y, z and accumulate
+    for d in &deltas {
+        let proj = g.add_op(OpKind::Mul);
+        g.add_edge(fmag, proj).expect("valid");
+        g.add_edge(*d, proj).expect("valid");
+        let acc = g.add_op(OpKind::Add);
+        g.add_edge(proj, acc).expect("valid");
+        let store = g.add_op(OpKind::Memory);
+        g.add_edge(acc, store).expect("valid");
+    }
+    g
+}
+
+/// One radix-2 FFT butterfly column over `points` complex points: each
+/// butterfly is a complex multiply (4 mul + 2 add) plus a complex
+/// add/subtract pair, fed from and stored to local memory.
+///
+/// # Panics
+///
+/// Panics if `points` is zero or odd.
+#[must_use]
+pub fn fft_butterfly_stage(points: usize) -> TaskGraph {
+    assert!(
+        points >= 2 && points.is_multiple_of(2),
+        "need an even, non-zero point count"
+    );
+    let mut g = TaskGraph::new(format!("fft-stage-{points}"));
+    for _ in 0..points / 2 {
+        let a = g.add_op(OpKind::Memory);
+        let b = g.add_op(OpKind::Memory);
+        // twiddle multiply of b: 4 real multiplies, 2 adds
+        let muls: Vec<usize> = (0..4).map(|_| g.add_op(OpKind::Mul)).collect();
+        for m in &muls {
+            g.add_edge(b, *m).expect("valid");
+        }
+        let re = g.add_op(OpKind::Add);
+        let im = g.add_op(OpKind::Add);
+        g.add_edge(muls[0], re).expect("valid");
+        g.add_edge(muls[1], re).expect("valid");
+        g.add_edge(muls[2], im).expect("valid");
+        g.add_edge(muls[3], im).expect("valid");
+        // butterfly add/sub
+        let plus = g.add_op(OpKind::Add);
+        let minus = g.add_op(OpKind::Add);
+        for t in [plus, minus] {
+            g.add_edge(a, t).expect("valid");
+            g.add_edge(re, t).expect("valid");
+            g.add_edge(im, t).expect("valid");
+        }
+        let out0 = g.add_op(OpKind::Memory);
+        let out1 = g.add_op(OpKind::Memory);
+        g.add_edge(plus, out0).expect("valid");
+        g.add_edge(minus, out1).expect("valid");
+    }
+    g
+}
+
+/// One cell of a systolic matrix-multiply array: load two operands,
+/// fused multiply-add into the running sum, pass through. Replicating
+/// this cell is how an RCS tiles dense linear algebra.
+#[must_use]
+pub fn systolic_mac_cell() -> TaskGraph {
+    let mut g = TaskGraph::new("systolic-mac");
+    let a = g.add_op(OpKind::Memory);
+    let b = g.add_op(OpKind::Memory);
+    let mac = g.add_op(OpKind::MulAdd);
+    g.add_edge(a, mac).expect("valid");
+    g.add_edge(b, mac).expect("valid");
+    let out = g.add_op(OpKind::Memory);
+    g.add_edge(mac, out).expect("valid");
+    g
+}
+
+/// A seeded random layered DAG of `ops` operations for property testing:
+/// nodes are placed in layers and each node depends on 1–3 nodes from
+/// earlier layers, so the result is always acyclic.
+///
+/// # Panics
+///
+/// Panics if `ops == 0`.
+#[must_use]
+pub fn random_dag(ops: usize, seed: u64) -> TaskGraph {
+    assert!(ops > 0, "need at least one operation");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = TaskGraph::new(format!("random-{seed}"));
+    let kinds = [
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::MulAdd,
+        OpKind::Compare,
+        OpKind::Memory,
+        OpKind::Div,
+        OpKind::Sqrt,
+        OpKind::Random,
+    ];
+    for i in 0..ops {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let node = g.add_op(kind);
+        if i > 0 {
+            let deps = rng.gen_range(1..=3.min(i));
+            for _ in 0..deps {
+                let from = rng.gen_range(0..i);
+                g.add_edge(from, node).expect("valid by construction");
+            }
+        }
+    }
+    g
+}
+
+/// All named workloads.
+#[must_use]
+pub fn all_named() -> Vec<TaskGraph> {
+    vec![
+        stencil_5point(),
+        spin_glass_mc(),
+        md_force_pipeline(),
+        fft_butterfly_stage(8),
+        systolic_mac_cell(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_workloads_are_valid_dags() {
+        for g in all_named() {
+            assert!(g.topo_order().is_ok(), "{}", g.name());
+            assert!(g.critical_path_cycles().unwrap() > 0);
+            assert!(g.logic_cells() > 0);
+        }
+    }
+
+    #[test]
+    fn md_pipeline_is_the_heaviest() {
+        let md = md_force_pipeline().logic_cells();
+        assert!(md > stencil_5point().logic_cells());
+        assert!(md > spin_glass_mc().logic_cells());
+    }
+
+    #[test]
+    fn spin_glass_is_cheap_and_shallow() {
+        // JANUS's win: spin updates are tiny, so thousands tile one chip.
+        let g = spin_glass_mc();
+        assert!(g.logic_cells() < 10_000);
+        assert!(g.critical_path_cycles().unwrap() < 20);
+    }
+
+    #[test]
+    fn fft_stage_scales_with_points() {
+        let small = fft_butterfly_stage(4);
+        let large = fft_butterfly_stage(16);
+        assert_eq!(large.op_count(), 4 * small.op_count());
+        assert!(small.topo_order().is_ok());
+        // butterflies are independent: critical path does not grow
+        assert_eq!(
+            small.critical_path_cycles().unwrap(),
+            large.critical_path_cycles().unwrap()
+        );
+    }
+
+    #[test]
+    fn systolic_cell_is_tiny_and_shallow() {
+        let g = systolic_mac_cell();
+        assert_eq!(g.op_count(), 4);
+        assert!(g.logic_cells() < 2000);
+        // mem(2) -> muladd(5) -> mem(2)
+        assert_eq!(g.critical_path_cycles().unwrap(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "even, non-zero")]
+    fn odd_fft_points_panic() {
+        let _ = fft_butterfly_stage(3);
+    }
+
+    #[test]
+    fn random_dag_is_deterministic_per_seed() {
+        let a = random_dag(64, 9);
+        let b = random_dag(64, 9);
+        assert_eq!(a, b);
+        let c = random_dag(64, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_dag_is_always_acyclic() {
+        for seed in 0..20 {
+            let g = random_dag(50, seed);
+            assert!(g.topo_order().is_ok(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Transient integration of thermal networks with nodal capacitances.
+
+use rcs_units::{Celsius, Seconds};
+
+use crate::error::ThermalError;
+use crate::network::{NodeId, NodeKind, ThermalNetwork};
+
+/// Time series produced by [`ThermalNetwork::solve_transient`]: node
+/// temperatures sampled after every integration step.
+#[derive(Debug, Clone)]
+pub struct TransientTrace {
+    times: Vec<Seconds>,
+    /// `temperatures[sample][node]`
+    temperatures: Vec<Vec<Celsius>>,
+}
+
+impl TransientTrace {
+    /// Sample times, starting at zero.
+    #[must_use]
+    pub fn times(&self) -> &[Seconds] {
+        &self.times
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if the trace holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Temperature of `node` at sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample index or node id is out of range.
+    #[must_use]
+    pub fn temperature(&self, i: usize, node: NodeId) -> Celsius {
+        self.temperatures[i][node.0]
+    }
+
+    /// Final temperature of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace or foreign node id.
+    #[must_use]
+    pub fn final_temperature(&self, node: NodeId) -> Celsius {
+        self.temperatures[self.temperatures.len() - 1][node.0]
+    }
+
+    /// The full time series of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign node id.
+    #[must_use]
+    pub fn series(&self, node: NodeId) -> Vec<(Seconds, Celsius)> {
+        self.times
+            .iter()
+            .zip(&self.temperatures)
+            .map(|(&t, temps)| (t, temps[node.0]))
+            .collect()
+    }
+
+    /// Time at which `node` first reaches within `tolerance` kelvins of its
+    /// final value and stays there, i.e. the settling time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace or foreign node id.
+    #[must_use]
+    pub fn settling_time(&self, node: NodeId, tolerance_k: f64) -> Seconds {
+        let target = self.final_temperature(node).degrees();
+        let mut settled_at = self.times[self.times.len() - 1];
+        for i in (0..self.len()).rev() {
+            if (self.temperatures[i][node.0].degrees() - target).abs() > tolerance_k {
+                break;
+            }
+            settled_at = self.times[i];
+        }
+        settled_at
+    }
+}
+
+impl ThermalNetwork {
+    /// Integrates the network in time from a uniform initial temperature.
+    ///
+    /// Every internal node must carry a heat capacitance
+    /// (see [`ThermalNetwork::add_node_with_capacitance`]); boundary nodes
+    /// hold their imposed temperatures. Heat sources are constant over the
+    /// window; chain multiple calls for step changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::MissingCapacitance`] if any internal node has
+    /// no capacitance, and [`ThermalError::NonPositiveParameter`] for a
+    /// non-positive duration or step.
+    pub fn solve_transient(
+        &self,
+        initial: Celsius,
+        duration: Seconds,
+        max_step: Seconds,
+    ) -> Result<TransientTrace, ThermalError> {
+        let initial_temps: Vec<Celsius> = self
+            .nodes
+            .iter()
+            .map(|n| match n.kind {
+                NodeKind::Boundary { temperature } => temperature,
+                NodeKind::Internal { .. } => initial,
+            })
+            .collect();
+        self.solve_transient_from(&initial_temps, duration, max_step)
+    }
+
+    /// Integrates the network from an explicit per-node initial state
+    /// (e.g. the final sample of a previous window, enabling step-change
+    /// experiments such as pump-failure transients).
+    ///
+    /// # Errors
+    ///
+    /// As [`ThermalNetwork::solve_transient`], plus a dimension check on
+    /// `initial`.
+    pub fn solve_transient_from(
+        &self,
+        initial: &[Celsius],
+        duration: Seconds,
+        max_step: Seconds,
+    ) -> Result<TransientTrace, ThermalError> {
+        if duration.seconds() < 0.0 || max_step.seconds() <= 0.0 {
+            return Err(ThermalError::NonPositiveParameter {
+                parameter: "duration/step",
+            });
+        }
+        if initial.len() != self.nodes.len() {
+            return Err(ThermalError::UnknownNode {
+                index: initial.len(),
+            });
+        }
+
+        let internal: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Internal { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let mut capacitance = vec![0.0; internal.len()];
+        for (row, &node) in internal.iter().enumerate() {
+            match self.nodes[node].kind {
+                NodeKind::Internal {
+                    capacitance_j_per_k: Some(c),
+                } if c > 0.0 => {
+                    capacitance[row] = c;
+                }
+                _ => {
+                    return Err(ThermalError::MissingCapacitance {
+                        node: self.nodes[node].name.clone(),
+                    })
+                }
+            }
+        }
+        let index_of: std::collections::HashMap<usize, usize> = internal
+            .iter()
+            .enumerate()
+            .map(|(row, &node)| (node, row))
+            .collect();
+
+        let mut state: Vec<f64> = internal
+            .iter()
+            .map(|&node| initial[node].degrees())
+            .collect();
+        let boundary_temp: Vec<f64> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| match n.kind {
+                NodeKind::Boundary { temperature } => temperature.degrees(),
+                NodeKind::Internal { .. } => initial[i].degrees(),
+            })
+            .collect();
+
+        let mut times = Vec::new();
+        let mut temperatures: Vec<Vec<Celsius>> = Vec::new();
+
+        let derivative = |_t: f64, y: &[f64], dy: &mut [f64]| {
+            for (row, &node) in internal.iter().enumerate() {
+                dy[row] = self.nodes[node].heat.watts();
+            }
+            for r in &self.resistors {
+                let g = 1.0 / r.resistance.kelvin_per_watt();
+                let ta = index_of
+                    .get(&r.a.0)
+                    .map_or(boundary_temp[r.a.0], |&row| y[row]);
+                let tb = index_of
+                    .get(&r.b.0)
+                    .map_or(boundary_temp[r.b.0], |&row| y[row]);
+                let q = g * (ta - tb);
+                if let Some(&row) = index_of.get(&r.a.0) {
+                    dy[row] -= q;
+                }
+                if let Some(&row) = index_of.get(&r.b.0) {
+                    dy[row] += q;
+                }
+            }
+            for (row, c) in capacitance.iter().enumerate() {
+                dy[row] /= c;
+            }
+        };
+
+        rcs_numeric::ode::rk4(
+            &mut state,
+            0.0,
+            duration.seconds(),
+            max_step.seconds(),
+            derivative,
+            |t, y| {
+                times.push(Seconds::new(t));
+                let mut sample: Vec<Celsius> =
+                    boundary_temp.iter().map(|&b| Celsius::new(b)).collect();
+                for (row, &node) in internal.iter().enumerate() {
+                    sample[node] = Celsius::new(y[row]);
+                }
+                temperatures.push(sample);
+            },
+        );
+
+        Ok(TransientTrace {
+            times,
+            temperatures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcs_units::{Power, ThermalResistance};
+
+    /// RC step response: T(t) = T_inf (1 - exp(-t/RC)) with T_inf = P*R.
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_node_with_capacitance("j", 50.0); // 50 J/K
+        let amb = net.add_boundary("amb", Celsius::new(0.0));
+        net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(0.5))
+            .unwrap();
+        net.add_heat(j, Power::from_watts(100.0)).unwrap();
+
+        let tau: f64 = 0.5 * 50.0; // RC = 25 s
+        let trace = net
+            .solve_transient(Celsius::new(0.0), Seconds::new(50.0), Seconds::new(0.05))
+            .unwrap();
+        let analytic = 50.0 * (1.0 - (-50.0 / tau).exp());
+        let got = trace.final_temperature(j).degrees();
+        assert!((got - analytic).abs() < 1e-3, "got {got}, want {analytic}");
+    }
+
+    #[test]
+    fn transient_settles_to_steady_state() {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_node_with_capacitance("a", 10.0);
+        let b = net.add_node_with_capacitance("b", 20.0);
+        let amb = net.add_boundary("amb", Celsius::new(25.0));
+        net.connect(a, b, ThermalResistance::from_kelvin_per_watt(0.4))
+            .unwrap();
+        net.connect(b, amb, ThermalResistance::from_kelvin_per_watt(0.6))
+            .unwrap();
+        net.add_heat(a, Power::from_watts(30.0)).unwrap();
+
+        let steady = net.solve_steady().unwrap();
+        let trace = net
+            .solve_transient(Celsius::new(25.0), Seconds::new(400.0), Seconds::new(0.1))
+            .unwrap();
+        for node in [a, b] {
+            let t_inf = steady.temperature(node).degrees();
+            let t_end = trace.final_temperature(node).degrees();
+            assert!((t_end - t_inf).abs() < 1e-3, "{t_end} vs {t_inf}");
+        }
+    }
+
+    #[test]
+    fn missing_capacitance_is_reported() {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_node("no-cap");
+        let amb = net.add_boundary("amb", Celsius::new(0.0));
+        net.connect(a, amb, ThermalResistance::from_kelvin_per_watt(1.0))
+            .unwrap();
+        let err = net
+            .solve_transient(Celsius::new(0.0), Seconds::new(1.0), Seconds::new(0.1))
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::MissingCapacitance { node } if node == "no-cap"));
+    }
+
+    #[test]
+    fn chained_windows_continue_smoothly() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_node_with_capacitance("j", 30.0);
+        let amb = net.add_boundary("amb", Celsius::new(20.0));
+        net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(1.0))
+            .unwrap();
+        net.add_heat(j, Power::from_watts(10.0)).unwrap();
+
+        let first = net
+            .solve_transient(Celsius::new(20.0), Seconds::new(30.0), Seconds::new(0.05))
+            .unwrap();
+        let handoff: Vec<Celsius> = (0..net.node_count())
+            .map(|i| first.temperature(first.len() - 1, crate::NodeId(i)))
+            .collect();
+        let second = net
+            .solve_transient_from(&handoff, Seconds::new(400.0), Seconds::new(0.05))
+            .unwrap();
+        let steady = net.solve_steady().unwrap().temperature(j).degrees();
+        assert!((second.final_temperature(j).degrees() - steady).abs() < 1e-3);
+        // continuity at the seam
+        assert!(
+            (second.temperature(0, j).degrees() - first.final_temperature(j).degrees()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn settling_time_is_monotone_in_capacitance() {
+        let settle = |cap: f64| {
+            let mut net = ThermalNetwork::new();
+            let j = net.add_node_with_capacitance("j", cap);
+            let amb = net.add_boundary("amb", Celsius::new(0.0));
+            net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(1.0))
+                .unwrap();
+            net.add_heat(j, Power::from_watts(10.0)).unwrap();
+            net.solve_transient(Celsius::new(0.0), Seconds::new(500.0), Seconds::new(0.1))
+                .unwrap()
+                .settling_time(j, 0.1)
+                .seconds()
+        };
+        assert!(settle(40.0) > settle(10.0));
+    }
+
+    #[test]
+    fn boundary_nodes_hold_their_temperature() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_node_with_capacitance("j", 5.0);
+        let amb = net.add_boundary("amb", Celsius::new(33.0));
+        net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(1.0))
+            .unwrap();
+        let trace = net
+            .solve_transient(Celsius::new(80.0), Seconds::new(10.0), Seconds::new(0.1))
+            .unwrap();
+        for i in 0..trace.len() {
+            assert_eq!(trace.temperature(i, amb).degrees(), 33.0);
+        }
+        // the hot unheated node cools toward the boundary
+        assert!(trace.final_temperature(j) < Celsius::new(80.0));
+        assert!(trace.final_temperature(j) > Celsius::new(33.0));
+    }
+}

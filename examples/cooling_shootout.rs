@@ -1,0 +1,66 @@
+//! Cooling shootout: the same SKAT-class module under all three cooling
+//! architectures the paper compares — air, closed-loop cold plates and
+//! open-loop immersion — on temperature, energy overhead and five-year
+//! operational risk.
+//!
+//! Run with `cargo run --release --example cooling_shootout`.
+
+use rcs_sim::cooling::{
+    availability, risk, AirCooling, ColdPlateLoop, CoolingArchitecture, ImmersionBath,
+};
+use rcs_sim::core::{AirCooledModel, ColdPlateModel, CoreError, ImmersionModel, SteadyReport};
+use rcs_sim::platform::presets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = presets::skat();
+
+    println!("one SKAT-class module (96 x XCKU095, operating mode) under three architectures:\n");
+
+    // Air cooling: the UltraScale generation no longer converges on the
+    // calibrated air stack — leakage outruns the heat path.
+    let air = AirCooledModel::for_module(module.clone()).solve();
+    match &air {
+        Ok(report) => print_report(report),
+        Err(CoreError::NoConvergence { iterations, .. }) => println!(
+            "air cooling: THERMAL RUNAWAY after {iterations} iterations — \
+             leakage growth outruns the sink (the paper's §1 warning)\n"
+        ),
+        Err(e) => return Err(Box::new(e.clone())),
+    }
+
+    // Closed-loop cold plates: thermally fine...
+    let plates = ColdPlateModel::for_module(module.clone()).solve()?;
+    print_report(&plates);
+
+    // Open-loop immersion: the paper's answer.
+    let immersion = ImmersionModel::skat().solve()?;
+    print_report(&immersion);
+
+    // ...but operations decide it (§2): five-year Monte-Carlo.
+    println!("five-year operational risk (4000 trials, fixed seed):");
+    let architectures = [
+        CoolingArchitecture::Air(AirCooling::machine_room_default()),
+        CoolingArchitecture::ColdPlate(ColdPlateLoop::per_chip_plates(96)),
+        CoolingArchitecture::Immersion(ImmersionBath::skat_default()),
+    ];
+    for arch in &architectures {
+        let classes = risk::failure_classes(arch);
+        let mc = availability::monte_carlo(&classes, 5.0, 4000, 42);
+        println!(
+            "  {:<26} availability {:.4} | {:>5.1} h/yr down | {:.2} hardware losses",
+            arch.name(),
+            mc.mean_availability,
+            risk::expected_annual_downtime_hours(&classes),
+            mc.mean_hardware_losses,
+        );
+    }
+    println!(
+        "\nverdict: only immersion combines a sub-55 °C junction with the\n\
+         lowest operational risk — the paper's conclusion, from physics."
+    );
+    Ok(())
+}
+
+fn print_report(report: &SteadyReport) {
+    println!("{report}\n");
+}

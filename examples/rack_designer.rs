@@ -1,0 +1,89 @@
+//! Rack designer: size a 47U immersion rack to a performance target and
+//! check the engineering budget (space, heat, chiller, manifold).
+//!
+//! Run with `cargo run --release --example rack_designer -- 2.0`
+//! (argument: target PFlops, default 1.0 — the paper's §5 claim).
+
+use rcs_sim::core::ImmersionModel;
+use rcs_sim::devices::OperatingPoint;
+use rcs_sim::fluids::Coolant;
+use rcs_sim::hydraulics::{balance, layout};
+use rcs_sim::platform::{presets, ComputeModule, Rack};
+use rcs_sim::units::{Celsius, Power};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target_pflops: f64 = match std::env::args().nth(1) {
+        None => 1.0,
+        Some(raw) => match raw.parse() {
+            Ok(v) if v > 0.0 => v,
+            _ => {
+                eprintln!("usage: rack_designer [TARGET_PFLOPS > 0], got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    println!("target: {target_pflops:.2} PFlops in one 47U rack\n");
+
+    for module in [presets::skat(), presets::skat_plus()] {
+        match design(module, target_pflops)? {
+            Some(summary) => println!("{summary}\n"),
+            None => println!("(module type cannot reach the target in one rack)\n"),
+        }
+    }
+    Ok(())
+}
+
+fn design(
+    module: ComputeModule,
+    target_pflops: f64,
+) -> Result<Option<String>, Box<dyn std::error::Error>> {
+    let per_module = module.peak_performance().as_petaflops();
+    let needed = (target_pflops / per_module).ceil() as usize;
+    let name = module.name().to_owned();
+
+    let Some(rack) = Rack::with_modules(47.0, module.clone(), needed) else {
+        return Ok(None);
+    };
+
+    // Thermal state of each (identical) module.
+    let report = if name == "SKAT+" {
+        ImmersionModel::skat_plus().solve()?
+    } else {
+        ImmersionModel::skat().solve()?
+    };
+    let rack_heat = rack.total_heat(OperatingPoint::operating_mode(), report.junction);
+
+    // Secondary loop: one reverse-return manifold across all modules.
+    // Header sizing rule: grow the manifold diameter with the square root
+    // of the loop count so header velocity (and thus imbalance) stays at
+    // the 6-loop design level.
+    let params = layout::ManifoldParams {
+        manifold_diameter: rcs_sim::units::Length::millimeters(
+            50.0 * (needed as f64 / 6.0).sqrt().max(1.0),
+        ),
+        ..layout::ManifoldParams::default()
+    };
+    let plan = layout::rack_manifold_with(needed, layout::ReturnStyle::Reverse, &params);
+    let water = Coolant::water().state(Celsius::new(20.0));
+    let flows = plan.loop_flows(&plan.network.solve(&water)?);
+    let spread = balance::spread(&flows);
+
+    // Chiller sizing with 25 % margin.
+    let chiller_size = Power::from_watts(rack_heat.watts() * 1.25);
+
+    Ok(Some(format!(
+        "{name}: {needed} x 3U modules ({:.0}U free) -> {:.2} PFlops\n  \
+         rack heat {:.0} kW, junction {:.1}, oil {:.1}\n  \
+         manifold: {} loops reverse-return, spread {spread:.3} (no balancing valves)\n  \
+         chiller: {:.0} kW rated ({:.0} kW load + 25 % margin)",
+        rack.free_units(),
+        rack.peak_performance().as_petaflops(),
+        rack_heat.as_kilowatts(),
+        report.junction,
+        report.coolant_hot,
+        needed,
+        chiller_size.as_kilowatts(),
+        rack_heat.as_kilowatts(),
+    )))
+}

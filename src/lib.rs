@@ -1,0 +1,55 @@
+//! # rcs-sim
+//!
+//! A simulation library reproducing Levin, Dordopulo, Fedorov &
+//! Doronchenko, *"High-Performance Reconfigurable Computer Systems with
+//! Immersion Cooling"*: the design space of FPGA-based reconfigurable
+//! computer systems (RCS) cooled by open-loop immersion in dielectric
+//! coolant, versus the air-cooled and closed-loop alternatives it
+//! obsoletes.
+//!
+//! The paper reports prototype measurements of physical hardware; this
+//! workspace substitutes a first-principles multi-physics model for the
+//! testbed (see `DESIGN.md` for the substitution map) and regenerates
+//! every quantitative claim as an experiment (`rcs_core::experiments`,
+//! `EXPERIMENTS.md`).
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! | module | crate | provides |
+//! |---|---|---|
+//! | [`units`] | `rcs-units` | typed physical quantities |
+//! | [`numeric`] | `rcs-numeric` | dense linear algebra, RK4, root finding |
+//! | [`fluids`] | `rcs-fluids` | coolant properties & convection correlations |
+//! | [`thermal`] | `rcs-thermal` | resistance networks, sinks, TIMs, exchangers |
+//! | [`hydraulics`] | `rcs-hydraulics` | pipe-network solver, manifolds, balancing |
+//! | [`devices`] | `rcs-devices` | FPGA catalog, power, performance, reliability |
+//! | [`platform`] | `rcs-platform` | boards, modules, racks, presets |
+//! | [`cooling`] | `rcs-cooling` | cooling architectures, control, risk |
+//! | [`taskgraph`] | `rcs-taskgraph` | information graphs → FPGA field mapping |
+//! | [`core`] | `rcs-core` | the coupled simulator and experiment harness |
+//!
+//! # Examples
+//!
+//! Solve the SKAT computational module end to end:
+//!
+//! ```
+//! use rcs_sim::core::ImmersionModel;
+//!
+//! let report = ImmersionModel::skat().solve()?;
+//! println!("{report}");
+//! assert!(report.junction.degrees() <= 55.0);
+//! # Ok::<(), rcs_sim::core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rcs_cooling as cooling;
+pub use rcs_core as core;
+pub use rcs_devices as devices;
+pub use rcs_fluids as fluids;
+pub use rcs_hydraulics as hydraulics;
+pub use rcs_numeric as numeric;
+pub use rcs_platform as platform;
+pub use rcs_taskgraph as taskgraph;
+pub use rcs_thermal as thermal;
+pub use rcs_units as units;

@@ -1,0 +1,109 @@
+//! Scenario integration tests: the extension systems (supervisor, rack
+//! coupling, maintenance, energy) playing together.
+
+use rcs_sim::cooling::maintenance::{summarize, PlumbingTopology};
+use rcs_sim::core::{experiments, RackImmersionModel, Supervisor};
+use rcs_sim::hydraulics::layout::ReturnStyle;
+use rcs_sim::thermal::Chiller;
+use rcs_sim::units::{Celsius, Power};
+
+/// A data-center heat wave: facility water drifts from 20 to 30 °C over a
+/// day and recovers. The supervised rack sheds load instead of tripping,
+/// and recovers its utilization afterwards.
+#[test]
+fn heat_wave_is_survivable_under_supervision() {
+    let scenario: Vec<Celsius> = (0..24)
+        .map(|h| {
+            let drift = 10.0 * (core::f64::consts::PI * h as f64 / 23.0).sin();
+            Celsius::new(20.0 + drift.max(0.0))
+        })
+        .collect();
+    let outcome = Supervisor::skat_default().run(&scenario).expect("solves");
+    assert!(!outcome.shut_down);
+    assert!(outcome.peak_junction().degrees() <= 67.5);
+    // load was shed at the peak and restored at the end
+    assert!(outcome.min_utilization < 0.90);
+    assert!(outcome.steps.last().unwrap().utilization > outcome.min_utilization);
+}
+
+/// The rack model and the single-module model agree when the rack is
+/// well-fed: a 12-module SKAT rack's hottest junction is within a kelvin
+/// of the single-module solve.
+#[test]
+fn rack_and_module_models_agree_at_nominal() {
+    let single = rcs_sim::core::ImmersionModel::skat()
+        .solve()
+        .expect("solves");
+    let rack = RackImmersionModel::skat_rack(12).solve().expect("solves");
+    assert!(
+        (rack.hottest_junction().degrees() - single.junction.degrees()).abs() < 1.5,
+        "rack {} vs module {}",
+        rack.hottest_junction(),
+        single.junction
+    );
+}
+
+/// Manifold layout shows up in rack thermal uniformity, not just in flow
+/// numbers: direct return spreads junction temperatures more than
+/// reverse return.
+#[test]
+fn manifold_layout_propagates_to_junction_spread() {
+    let reverse = RackImmersionModel::skat_rack(8).solve().expect("solves");
+    let direct = RackImmersionModel::skat_rack(8)
+        .with_manifold_style(ReturnStyle::Direct)
+        .solve()
+        .expect("solves");
+    assert!(direct.junction_spread_k() > reverse.junction_spread_k());
+    // but immersion headroom absorbs even the direct layout
+    assert!(direct.hottest_junction().degrees() < 67.5);
+}
+
+/// Facility sizing: a SKAT+ rack wants more chiller than SKAT's; the
+/// model quantifies how much.
+#[test]
+fn facility_sizing_for_the_upgrade() {
+    let skat = RackImmersionModel::skat_rack(12).solve().expect("solves");
+    let plus = RackImmersionModel::skat_plus_rack(12)
+        .with_chiller(Chiller::new(
+            Celsius::new(20.0),
+            Power::kilowatts(220.0),
+            4.5,
+        ))
+        .solve()
+        .expect("solves");
+    assert!(plus.total_heat.watts() > 1.2 * skat.total_heat.watts());
+    assert!(plus.within_chiller_capacity);
+}
+
+/// Maintenance topology and Monte-Carlo availability tell one story: the
+/// architectures ordered best-to-worst the same way by both analyses.
+#[test]
+fn serviceability_and_availability_agree() {
+    let skat = summarize(PlumbingTopology::SelfContainedModules, 12);
+    let immers = summarize(PlumbingTopology::CentralizedImmersion, 12);
+    assert!(skat.lost_module_hours_per_year < immers.lost_module_hours_per_year);
+
+    let reliability = experiments::e12_reliability_mc::rows();
+    let im = reliability
+        .iter()
+        .find(|r| r.architecture.contains("SKAT)"))
+        .unwrap();
+    let cp = reliability
+        .iter()
+        .find(|r| r.architecture.contains("cold plates"))
+        .unwrap();
+    assert!(im.availability > cp.availability);
+}
+
+/// Every extension experiment renders alongside the paper ones.
+#[test]
+fn extended_harness_renders() {
+    let tables = experiments::run_all();
+    let titles: Vec<&str> = tables.iter().map(|t| t.title.as_str()).collect();
+    for needle in ["E13a", "E14", "E15", "E7b"] {
+        assert!(
+            titles.iter().any(|t| t.contains(needle)),
+            "missing {needle} in {titles:?}"
+        );
+    }
+}
