@@ -3,65 +3,46 @@
 //! binaries print), so `cargo bench` both times the harness and proves
 //! every experiment still runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use rcs_bench::Harness;
 use rcs_core::experiments as exp;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("experiments");
-    group.sample_size(10);
-
-    group.bench_function("e01_air_anchors", |b| {
-        b.iter(|| black_box(exp::e01_air_anchors::run()));
+fn main() {
+    let mut h = Harness::from_args();
+    h.bench("e01_air_anchors", || black_box(exp::e01_air_anchors::run()));
+    h.bench("e03_family_scaling", || {
+        black_box(exp::e03_family_scaling::run())
     });
-    group.bench_function("e03_family_scaling", |b| {
-        b.iter(|| black_box(exp::e03_family_scaling::run()));
+    h.bench("e04_liquid_vs_air", || {
+        black_box(exp::e04_liquid_vs_air::run())
     });
-    group.bench_function("e04_liquid_vs_air", |b| {
-        b.iter(|| black_box(exp::e04_liquid_vs_air::run()));
+    h.bench("e05_skat_thermal_f02_warmup", || {
+        black_box(exp::e05_skat_thermal::run())
     });
-    group.bench_function("e05_skat_thermal_f02_warmup", |b| {
-        b.iter(|| black_box(exp::e05_skat_thermal::run()));
+    h.bench("e06_generation_gains", || {
+        black_box(exp::e06_generation_gains::run())
     });
-    group.bench_function("e06_generation_gains", |b| {
-        b.iter(|| black_box(exp::e06_generation_gains::run()));
+    h.bench("e07_rack_pflops", || black_box(exp::e07_rack_pflops::run()));
+    h.bench("e08_hydraulic_balance_f05", || {
+        black_box(exp::e08_hydraulic_balance::run())
     });
-    group.bench_function("e07_rack_pflops", |b| {
-        b.iter(|| black_box(exp::e07_rack_pflops::run()));
+    h.bench("e09_skat_plus_f03_f04", || {
+        black_box(exp::e09_skat_plus::run())
     });
-    group.bench_function("e08_hydraulic_balance_f05", |b| {
-        b.iter(|| black_box(exp::e08_hydraulic_balance::run()));
+    h.bench("e10_tim_washout", || black_box(exp::e10_tim_washout::run()));
+    h.bench("e11_heatsink_design", || {
+        black_box(exp::e11_heatsink_design::run())
     });
-    group.bench_function("e09_skat_plus_f03_f04", |b| {
-        b.iter(|| black_box(exp::e09_skat_plus::run()));
+    h.bench("e12_reliability_mc", || {
+        black_box(exp::e12_reliability_mc::run())
     });
-    group.bench_function("e10_tim_washout", |b| {
-        b.iter(|| black_box(exp::e10_tim_washout::run()));
+    h.bench("e13_ablations", || black_box(exp::e13_ablations::run()));
+    h.bench("e14_energy", || black_box(exp::e14_energy::run()));
+    h.bench("e15_maintenance", || black_box(exp::e15_maintenance::run()));
+    h.bench("e16_fleet", || black_box(exp::e16_fleet::run()));
+    h.bench("f01_design_figures", || {
+        black_box(exp::f01_design_figures::run())
     });
-    group.bench_function("e11_heatsink_design", |b| {
-        b.iter(|| black_box(exp::e11_heatsink_design::run()));
-    });
-    group.bench_function("e12_reliability_mc", |b| {
-        b.iter(|| black_box(exp::e12_reliability_mc::run()));
-    });
-    group.bench_function("e13_ablations", |b| {
-        b.iter(|| black_box(exp::e13_ablations::run()));
-    });
-    group.bench_function("e14_energy", |b| {
-        b.iter(|| black_box(exp::e14_energy::run()));
-    });
-    group.bench_function("e15_maintenance", |b| {
-        b.iter(|| black_box(exp::e15_maintenance::run()));
-    });
-    group.bench_function("e16_fleet", |b| {
-        b.iter(|| black_box(exp::e16_fleet::run()));
-    });
-    group.bench_function("f01_design_figures", |b| {
-        b.iter(|| black_box(exp::f01_design_figures::run()));
-    });
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(experiments, bench_experiments);
-criterion_main!(experiments);

@@ -2,9 +2,9 @@
 //! on. These bound the cost of scaling the reproduction up (bigger racks,
 //! finer transients) and catch algorithmic regressions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use rcs_bench::Harness;
 use rcs_core::ImmersionModel;
 use rcs_fluids::Coolant;
 use rcs_hydraulics::layout;
@@ -13,8 +13,7 @@ use rcs_thermal::ThermalNetwork;
 use rcs_units::{Celsius, Power, Seconds, ThermalResistance};
 
 /// Dense elimination at the sizes our networks actually reach.
-fn bench_matrix_solve(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matrix_solve");
+fn bench_matrix_solve(h: &mut Harness) {
     for n in [8usize, 32, 96, 192] {
         let mut a = Matrix::zeros(n, n);
         for i in 0..n {
@@ -27,11 +26,10 @@ fn bench_matrix_solve(c: &mut Criterion) {
             }
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.solve(black_box(&b)).unwrap()));
+        h.bench(&format!("matrix_solve/{n}"), || {
+            black_box(a.solve(black_box(&b)).unwrap())
         });
     }
-    group.finish();
 }
 
 /// A SKAT-shaped thermal network: N chips into a bath into chilled water.
@@ -50,18 +48,16 @@ fn skat_network(chips: usize) -> ThermalNetwork {
     net
 }
 
-fn bench_thermal_steady(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thermal_steady");
+fn bench_thermal_steady(h: &mut Harness) {
     for chips in [8usize, 96, 192] {
         let net = skat_network(chips);
-        group.bench_with_input(BenchmarkId::from_parameter(chips), &chips, |bench, _| {
-            bench.iter(|| black_box(net.solve_steady().unwrap()));
+        h.bench(&format!("thermal_steady/{chips}"), || {
+            black_box(net.solve_steady().unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_thermal_transient(c: &mut Criterion) {
+fn bench_thermal_transient(h: &mut Harness) {
     let mut net = ThermalNetwork::new();
     let chip = net.add_node_with_capacitance("chips", 14_400.0);
     let bath = net.add_node_with_capacitance("bath", 105_000.0);
@@ -71,44 +67,39 @@ fn bench_thermal_transient(c: &mut Criterion) {
     net.connect(bath, water, ThermalResistance::from_kelvin_per_watt(9.6e-4))
         .unwrap();
     net.add_heat(chip, Power::from_watts(8736.0)).unwrap();
-    c.bench_function("thermal_transient_1h", |bench| {
-        bench.iter(|| {
-            black_box(
-                net.solve_transient(Celsius::new(20.0), Seconds::hours(1.0), Seconds::new(2.0))
-                    .unwrap(),
-            )
-        });
+    h.bench("thermal_transient_1h", || {
+        black_box(
+            net.solve_transient(Celsius::new(20.0), Seconds::hours(1.0), Seconds::new(2.0))
+                .unwrap(),
+        )
     });
 }
 
 /// The Fig. 5 manifold at growing rack sizes.
-fn bench_hydraulic_manifold(c: &mut Criterion) {
+fn bench_hydraulic_manifold(h: &mut Harness) {
     let water = Coolant::water().state(Celsius::new(20.0));
-    let mut group = c.benchmark_group("hydraulic_manifold");
     for loops in [6usize, 12, 24] {
         let plan = layout::rack_manifold(loops, layout::ReturnStyle::Reverse);
-        group.bench_with_input(BenchmarkId::from_parameter(loops), &loops, |bench, _| {
-            bench.iter(|| black_box(plan.network.solve(black_box(&water)).unwrap()));
+        h.bench(&format!("hydraulic_manifold/{loops}"), || {
+            black_box(plan.network.solve(black_box(&water)).unwrap())
         });
     }
-    group.finish();
 }
 
 /// The full coupled SKAT solve: hydraulics + convection + exchanger +
 /// leakage fixed point.
-fn bench_coupled_immersion(c: &mut Criterion) {
-    c.bench_function("coupled_immersion_skat", |bench| {
-        bench.iter(|| black_box(ImmersionModel::skat().solve().unwrap()));
+fn bench_coupled_immersion(h: &mut Harness) {
+    h.bench("coupled_immersion_skat", || {
+        black_box(ImmersionModel::skat().solve().unwrap())
     });
 }
 
-criterion_group!(
-    name = solvers;
-    config = Criterion::default().sample_size(20);
-    targets = bench_matrix_solve,
-        bench_thermal_steady,
-        bench_thermal_transient,
-        bench_hydraulic_manifold,
-        bench_coupled_immersion
-);
-criterion_main!(solvers);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_matrix_solve(&mut h);
+    bench_thermal_steady(&mut h);
+    bench_thermal_transient(&mut h);
+    bench_hydraulic_manifold(&mut h);
+    bench_coupled_immersion(&mut h);
+    h.finish();
+}

@@ -4,8 +4,7 @@
 //! and hardware losses, turning §2's qualitative reliability comparison
 //! into distributions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcs_numeric::rng::Rng;
 
 use crate::risk::FailureClass;
 
@@ -45,7 +44,7 @@ pub fn monte_carlo(
 ) -> AvailabilityReport {
     assert!(horizon_years > 0.0, "horizon must be positive");
     assert!(trials > 0, "at least one trial required");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let hours_total = horizon_years * 8766.0;
 
     let mut availabilities = Vec::with_capacity(trials);
@@ -62,8 +61,7 @@ pub fn monte_carlo(
             }
             let mut t = 0.0;
             loop {
-                let u: f64 = rng.gen_range(1e-12..1.0);
-                t += -u.ln() / rate;
+                t += rng.exponential(rate);
                 if t > horizon_years {
                     break;
                 }

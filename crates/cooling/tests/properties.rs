@@ -1,10 +1,10 @@
 //! Property-based tests for the cooling-system models.
 
-use proptest::prelude::*;
 use rcs_cooling::control::{ControlSubsystem, Readings, Severity};
 use rcs_cooling::maintenance::{summarize, PlumbingTopology};
 use rcs_cooling::risk::{Consequence, FailureClass};
 use rcs_cooling::{availability, ColdPlateLoop, CoolingArchitecture, ImmersionBath};
+use rcs_testkit::check_cases;
 use rcs_units::{Celsius, VolumeFlow};
 
 fn classes(rate: f64, downtime: f64, loss_p: f64) -> Vec<FailureClass> {
@@ -18,42 +18,58 @@ fn classes(rate: f64, downtime: f64, loss_p: f64) -> Vec<FailureClass> {
     }]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Monte-Carlo availability is a probability and decreases with rate.
-    #[test]
-    fn availability_is_bounded_and_monotone(
-        rate in 0.01..5.0f64, k in 1.2..5.0f64, downtime in 0.5..48.0f64, seed in 0u64..100
-    ) {
+/// Monte-Carlo availability is a probability and decreases with rate.
+#[test]
+fn availability_is_bounded_and_monotone() {
+    check_cases("availability_is_bounded_and_monotone", 32, |g| {
+        let rate = g.draw(0.01..5.0f64);
+        let k = g.draw(1.2..5.0f64);
+        let downtime = g.draw(0.5..48.0f64);
+        let seed = g.draw(0u64..100);
         let lo = availability::monte_carlo(&classes(rate, downtime, 0.0), 3.0, 400, seed);
         let hi = availability::monte_carlo(&classes(rate * k, downtime, 0.0), 3.0, 400, seed);
-        prop_assert!((0.0..=1.0).contains(&lo.mean_availability));
-        prop_assert!((0.0..=1.0).contains(&hi.mean_availability));
-        prop_assert!(hi.mean_availability <= lo.mean_availability + 1e-3);
-        prop_assert!(lo.p05_availability <= lo.mean_availability + 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&lo.mean_availability));
+        assert!((0.0..=1.0).contains(&hi.mean_availability));
+        assert!(hi.mean_availability <= lo.mean_availability + 1e-3);
+        assert!(lo.p05_availability <= lo.mean_availability + 1e-12);
+    });
+}
 
-    /// Mean event count tracks the analytic Poisson expectation.
-    #[test]
-    fn event_counts_track_rate(rate in 0.1..4.0f64, seed in 0u64..50) {
+/// Mean event count tracks the analytic Poisson expectation.
+#[test]
+fn event_counts_track_rate() {
+    check_cases("event_counts_track_rate", 32, |g| {
+        let rate = g.draw(0.1..4.0f64);
+        let seed = g.draw(0u64..50);
         let report = availability::monte_carlo(&classes(rate, 1.0, 0.0), 4.0, 1500, seed);
         let rel = (report.mean_events_per_year - rate).abs() / rate;
-        prop_assert!(rel < 0.12, "MC {} vs rate {rate}", report.mean_events_per_year);
-    }
+        assert!(
+            rel < 0.12,
+            "MC {} vs rate {rate}",
+            report.mean_events_per_year
+        );
+    });
+}
 
-    /// Hardware losses scale with the loss probability.
-    #[test]
-    fn hardware_losses_scale(p1 in 0.05..0.4f64, seed in 0u64..50) {
+/// Hardware losses scale with the loss probability.
+#[test]
+fn hardware_losses_scale() {
+    check_cases("hardware_losses_scale", 32, |g| {
+        let p1 = g.draw(0.05..0.4f64);
+        let seed = g.draw(0u64..50);
         let lo = availability::monte_carlo(&classes(1.0, 1.0, p1), 5.0, 1500, seed);
         let hi = availability::monte_carlo(&classes(1.0, 1.0, 2.0 * p1), 5.0, 1500, seed);
-        prop_assert!(hi.mean_hardware_losses > lo.mean_hardware_losses);
-    }
+        assert!(hi.mean_hardware_losses > lo.mean_hardware_losses);
+    });
+}
 
-    /// Control alarms are monotone: making any reading worse never clears
-    /// an alarm level.
-    #[test]
-    fn alarms_monotone_in_component_temperature(t1 in 30.0..80.0f64, dt in 0.5..30.0f64) {
+/// Control alarms are monotone: making any reading worse never clears
+/// an alarm level.
+#[test]
+fn alarms_monotone_in_component_temperature() {
+    check_cases("alarms_monotone_in_component_temperature", 32, |g| {
+        let t1 = g.draw(30.0..80.0f64);
+        let dt = g.draw(0.5..30.0f64);
         let ctl = ControlSubsystem::default();
         let base = Readings {
             coolant_level: 1.0,
@@ -75,13 +91,16 @@ proptest! {
                 .max()
                 .unwrap_or(0)
         };
-        prop_assert!(sev(&worse) >= sev(&base));
-    }
+        assert!(sev(&worse) >= sev(&base));
+    });
+}
 
-    /// Maintenance lost-hours grow monotonically with rack size for every
-    /// topology, and the self-contained topology grows only linearly.
-    #[test]
-    fn maintenance_scaling(n in 2usize..24) {
+/// Maintenance lost-hours grow monotonically with rack size for every
+/// topology, and the self-contained topology grows only linearly.
+#[test]
+fn maintenance_scaling() {
+    check_cases("maintenance_scaling", 32, |g| {
+        let n = g.draw(2usize..24);
         for topo in [
             PlumbingTopology::SelfContainedModules,
             PlumbingTopology::CentralizedImmersion,
@@ -89,33 +108,35 @@ proptest! {
         ] {
             let small = summarize(topo, n);
             let large = summarize(topo, n + 2);
-            prop_assert!(
-                large.lost_module_hours_per_year >= small.lost_module_hours_per_year
-            );
+            assert!(large.lost_module_hours_per_year >= small.lost_module_hours_per_year);
         }
         // self-contained is exactly linear: hours/n is constant
         let a = summarize(PlumbingTopology::SelfContainedModules, n);
         let b = summarize(PlumbingTopology::SelfContainedModules, 2 * n);
-        prop_assert!(
-            (b.lost_module_hours_per_year - 2.0 * a.lost_module_hours_per_year).abs() < 1e-9
-        );
-    }
+        assert!((b.lost_module_hours_per_year - 2.0 * a.lost_module_hours_per_year).abs() < 1e-9);
+    });
+}
 
-    /// Connection counts: per-chip plates always exceed per-board plates,
-    /// which always exceed the immersion bath.
-    #[test]
-    fn connection_ordering(chips in 8usize..256) {
+/// Connection counts: per-chip plates always exceed per-board plates,
+/// which always exceed the immersion bath.
+#[test]
+fn connection_ordering() {
+    check_cases("connection_ordering", 32, |g| {
+        let chips = g.draw(8usize..256);
         let per_chip = ColdPlateLoop::per_chip_plates(chips).pressure_tight_connections();
         let per_board =
             ColdPlateLoop::per_board_plates(chips.div_ceil(8)).pressure_tight_connections();
         let bath = ImmersionBath::skat_default().pressure_tight_connections();
-        prop_assert!(per_chip > per_board);
-        prop_assert!(per_board > bath);
-    }
+        assert!(per_chip > per_board);
+        assert!(per_board > bath);
+    });
+}
 
-    /// Dew-point exposure is monotone in supply temperature.
-    #[test]
-    fn dew_point_monotone_in_supply(t in 5.0..25.0f64) {
+/// Dew-point exposure is monotone in supply temperature.
+#[test]
+fn dew_point_monotone_in_supply() {
+    check_cases("dew_point_monotone_in_supply", 32, |g| {
+        let t = g.draw(5.0..25.0f64);
         let mut cold = ColdPlateLoop::per_chip_plates(32);
         cold.supply = Celsius::new(t);
         let exposed = CoolingArchitecture::ColdPlate(cold.clone()).dew_point_exposure();
@@ -123,6 +144,6 @@ proptest! {
         warmer.supply = Celsius::new(t + 5.0);
         let exposed_warmer = CoolingArchitecture::ColdPlate(warmer).dew_point_exposure();
         // warming the supply can only clear the exposure, never create it
-        prop_assert!(exposed || !exposed_warmer);
-    }
+        assert!(exposed || !exposed_warmer);
+    });
 }

@@ -10,8 +10,7 @@
 //! failures, charges every repair its maintenance blast radius, and
 //! accounts the compute actually delivered.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcs_numeric::rng::Rng;
 
 use rcs_cooling::maintenance::{service_catalog, BlastRadius, PlumbingTopology};
 use rcs_cooling::risk;
@@ -179,9 +178,9 @@ impl FleetSimulation {
         // uniform per draw, so identical processes produce identical
         // events and config-to-config differences isolate the treatment
         // effect (standard Monte-Carlo variance reduction).
-        let mut chip_rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
-        let mut cooling_rng = StdRng::seed_from_u64(self.seed.wrapping_add(2));
-        let mut maint_rng = StdRng::seed_from_u64(self.seed.wrapping_add(3));
+        let mut chip_rng = Rng::seed_from_u64(self.seed.wrapping_add(1));
+        let mut cooling_rng = Rng::seed_from_u64(self.seed.wrapping_add(2));
+        let mut maint_rng = Rng::seed_from_u64(self.seed.wrapping_add(3));
         let months = (self.years * 12.0).round() as usize;
         let chips_per_module = 96usize;
         let n = self.modules as f64;
@@ -284,26 +283,15 @@ impl FleetSimulation {
     }
 }
 
-/// One Poisson draw with mean `lambda` by CDF inversion.
+/// One Poisson draw with mean `lambda`, as an `f64` event count.
 ///
-/// Consumes exactly one uniform, keeping common-random-number streams
-/// synchronized across configurations, and is monotone in `lambda` for a
-/// fixed draw (a higher failure rate can never produce fewer events from
-/// the same randomness) — the property the fleet comparisons rely on.
-fn draw_poisson(rng: &mut StdRng, lambda: f64) -> f64 {
-    if lambda <= 0.0 {
-        return 0.0;
-    }
-    let u: f64 = rng.gen_range(0.0..1.0);
-    let mut pmf = (-lambda).exp();
-    let mut cdf = pmf;
-    let mut k = 0u32;
-    while u > cdf && k < 10_000 {
-        k += 1;
-        pmf *= lambda / f64::from(k);
-        cdf += pmf;
-    }
-    f64::from(k)
+/// Delegates to [`Rng::poisson`], which consumes exactly one uniform
+/// (keeping common-random-number streams synchronized across
+/// configurations) and is monotone in `lambda` for a fixed draw (a
+/// higher failure rate can never produce fewer events from the same
+/// randomness) — the property the fleet comparisons rely on.
+fn draw_poisson(rng: &mut Rng, lambda: f64) -> f64 {
+    rng.poisson(lambda) as f64
 }
 
 #[cfg(test)]
@@ -375,7 +363,7 @@ mod tests {
 
     #[test]
     fn poisson_draw_matches_mean() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let lambda = 2.5;
         let n = 4000;
         let total: f64 = (0..n).map(|_| draw_poisson(&mut rng, lambda)).sum();

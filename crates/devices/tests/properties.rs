@@ -1,80 +1,107 @@
 //! Property-based tests for the device models.
 
-use proptest::prelude::*;
 use rcs_devices::{performance, reliability, FpgaPart, OperatingPoint, PowerModel};
+use rcs_testkit::check;
 use rcs_units::Celsius;
 
 fn parts() -> Vec<FpgaPart> {
     FpgaPart::catalog()
 }
 
-proptest! {
-    /// Power is monotone in junction temperature for every part.
-    #[test]
-    fn power_monotone_in_temperature(
-        idx in 0usize..5, t in 20.0..100.0f64, dt in 0.5..30.0f64, u in 0.0..1.0f64
-    ) {
+/// Power is monotone in junction temperature for every part.
+#[test]
+fn power_monotone_in_temperature() {
+    check("power_monotone_in_temperature", |g| {
+        let idx = g.draw(0usize..5);
+        let t = g.draw(20.0..100.0f64);
+        let dt = g.draw(0.5..30.0f64);
+        let u = g.draw(0.0..1.0f64);
         let model = PowerModel::for_part(&parts()[idx]);
         let op = OperatingPoint::at_utilization(u);
         let lo = model.power(op, Celsius::new(t));
         let hi = model.power(op, Celsius::new(t + dt));
-        prop_assert!(hi >= lo);
-    }
+        assert!(hi >= lo);
+    });
+}
 
-    /// Power is monotone in utilization for every part.
-    #[test]
-    fn power_monotone_in_utilization(
-        idx in 0usize..5, t in 20.0..90.0f64, u in 0.0..0.9f64, du in 0.01..0.1f64
-    ) {
+/// Power is monotone in utilization for every part.
+#[test]
+fn power_monotone_in_utilization() {
+    check("power_monotone_in_utilization", |g| {
+        let idx = g.draw(0usize..5);
+        let t = g.draw(20.0..90.0f64);
+        let u = g.draw(0.0..0.9f64);
+        let du = g.draw(0.01..0.1f64);
         let model = PowerModel::for_part(&parts()[idx]);
         let lo = model.power(OperatingPoint::at_utilization(u), Celsius::new(t));
         let hi = model.power(OperatingPoint::at_utilization(u + du), Celsius::new(t));
-        prop_assert!(hi >= lo);
-    }
+        assert!(hi >= lo);
+    });
+}
 
-    /// Static power is never negative and never exceeds total.
-    #[test]
-    fn static_power_bounds(idx in 0usize..5, t in 0.0..120.0f64, u in 0.0..1.0f64) {
+/// Static power is never negative and never exceeds total.
+#[test]
+fn static_power_bounds() {
+    check("static_power_bounds", |g| {
+        let idx = g.draw(0usize..5);
+        let t = g.draw(0.0..120.0f64);
+        let u = g.draw(0.0..1.0f64);
         let model = PowerModel::for_part(&parts()[idx]);
         let tj = Celsius::new(t);
         let total = model.power(OperatingPoint::at_utilization(u), tj);
         let static_ = model.static_power(tj);
-        prop_assert!(static_.watts() > 0.0);
-        prop_assert!(static_ <= total);
-    }
+        assert!(static_.watts() > 0.0);
+        assert!(static_ <= total);
+    });
+}
 
-    /// MTBF strictly decreases with junction temperature.
-    #[test]
-    fn mtbf_decreases_with_temperature(t in 20.0..100.0f64, dt in 0.5..20.0f64) {
-        prop_assert!(
+/// MTBF strictly decreases with junction temperature.
+#[test]
+fn mtbf_decreases_with_temperature() {
+    check("mtbf_decreases_with_temperature", |g| {
+        let t = g.draw(20.0..100.0f64);
+        let dt = g.draw(0.5..20.0f64);
+        assert!(
             reliability::mtbf_hours(Celsius::new(t + dt))
                 < reliability::mtbf_hours(Celsius::new(t))
         );
-    }
+    });
+}
 
-    /// Arrhenius acceleration is multiplicative-consistent: AF(a->c) =
-    /// AF(a->b) * AF(b->c) expressed against the fixed reference.
-    #[test]
-    fn acceleration_is_positive_and_finite(t in -20.0..150.0f64) {
+/// Arrhenius acceleration stays positive and finite over the whole
+/// plausible junction range.
+#[test]
+fn acceleration_is_positive_and_finite() {
+    check("acceleration_is_positive_and_finite", |g| {
+        let t = g.draw(-20.0..150.0f64);
         let af = reliability::acceleration_factor(Celsius::new(t));
-        prop_assert!(af.is_finite() && af > 0.0);
-    }
+        assert!(af.is_finite() && af > 0.0);
+    });
+}
 
-    /// Sustained performance never exceeds peak and scales linearly.
-    #[test]
-    fn sustained_below_peak(idx in 0usize..5, u in 0.0..1.0f64, c in 0.0..1.0f64) {
+/// Sustained performance never exceeds peak and scales linearly.
+#[test]
+fn sustained_below_peak() {
+    check("sustained_below_peak", |g| {
+        let idx = g.draw(0usize..5);
+        let u = g.draw(0.0..1.0f64);
+        let c = g.draw(0.0..1.0f64);
         let part = &parts()[idx];
         let peak = performance::peak_ops(part).ops_per_second();
         let sustained = performance::sustained_ops(part, u, c).ops_per_second();
-        prop_assert!(sustained <= peak + 1e-6);
-        prop_assert!((sustained - peak * u * c).abs() <= 1e-6 * peak);
-    }
+        assert!(sustained <= peak + 1e-6);
+        assert!((sustained - peak * u * c).abs() <= 1e-6 * peak);
+    });
+}
 
-    /// Field MTBF scales inversely with population.
-    #[test]
-    fn field_mtbf_inverse_in_population(t in 30.0..90.0f64, n in 1usize..2000) {
+/// Field MTBF scales inversely with population.
+#[test]
+fn field_mtbf_inverse_in_population() {
+    check("field_mtbf_inverse_in_population", |g| {
+        let t = g.draw(30.0..90.0f64);
+        let n = g.draw(1usize..2000);
         let single = reliability::field_mtbf_hours(Celsius::new(t), 1);
         let field = reliability::field_mtbf_hours(Celsius::new(t), n);
-        prop_assert!((field * n as f64 - single).abs() < 1e-6 * single);
-    }
+        assert!((field * n as f64 - single).abs() < 1e-6 * single);
+    });
 }

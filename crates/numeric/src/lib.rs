@@ -3,8 +3,9 @@
 //! Implemented from scratch so that the workspace has no external numeric
 //! dependencies: a dense row-major matrix with LU-style Gaussian
 //! elimination ([`Matrix::solve`]), a fixed-step fourth-order Runge-Kutta
-//! integrator ([`ode::rk4`]), and bracketing/Newton root finders
-//! ([`root`]).
+//! integrator ([`ode::rk4`]), bracketing/Newton root finders
+//! ([`root`]), and a deterministic xoshiro256++ generator with the
+//! exponential/Poisson draws the Monte-Carlo studies need ([`rng`]).
 //!
 //! These kernels are sized for the problems in this workspace — thermal
 //! networks of a few hundred nodes and hydraulic networks of a few dozen
@@ -28,6 +29,7 @@
 
 mod matrix;
 pub mod ode;
+pub mod rng;
 pub mod root;
 
 pub use matrix::{Matrix, NumericError};

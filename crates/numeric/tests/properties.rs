@@ -1,7 +1,7 @@
 //! Property-based tests for the numeric kernels.
 
-use proptest::prelude::*;
 use rcs_numeric::{ode, root, Matrix};
+use rcs_testkit::check;
 
 /// Random diagonally dominant matrix: always solvable, well conditioned.
 fn dominant_matrix(n: usize, seed: &[f64]) -> Matrix {
@@ -23,65 +23,83 @@ fn dominant_matrix(n: usize, seed: &[f64]) -> Matrix {
     m
 }
 
-proptest! {
-    /// solve() really solves: A * x equals b to high precision.
-    #[test]
-    fn solve_satisfies_the_system(
-        n in 1usize..12,
-        seed in prop::collection::vec(-10.0..10.0f64, 16),
-        b_seed in prop::collection::vec(-100.0..100.0f64, 12),
-    ) {
+/// solve() really solves: A * x equals b to high precision.
+#[test]
+fn solve_satisfies_the_system() {
+    check("solve_satisfies_the_system", |g| {
+        let n = g.draw(1usize..12);
+        let seed = g.vec_f64(-10.0..10.0, 16);
+        let b_seed = g.vec_f64(-100.0..100.0, 12);
         let a = dominant_matrix(n, &seed);
         let b: Vec<f64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
         let x = a.solve(&b).unwrap();
         let back = a.mul_vec(&x).unwrap();
         let scale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
         for (got, want) in back.iter().zip(&b) {
-            prop_assert!((got - want).abs() < 1e-9 * scale, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-9 * scale, "{got} vs {want}");
         }
-    }
+    });
+}
 
-    /// Solving with a scaled RHS scales the solution (linearity).
-    #[test]
-    fn solve_is_linear(
-        n in 1usize..10,
-        seed in prop::collection::vec(-10.0..10.0f64, 16),
-        k in 0.1..50.0f64,
-    ) {
+/// Solving with a scaled RHS scales the solution (linearity).
+#[test]
+fn solve_is_linear() {
+    check("solve_is_linear", |g| {
+        let n = g.draw(1usize..10);
+        let seed = g.vec_f64(-10.0..10.0, 16);
+        let k = g.draw(0.1..50.0f64);
         let a = dominant_matrix(n, &seed);
         let b: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).sin()).collect();
         let x1 = a.solve(&b).unwrap();
         let b2: Vec<f64> = b.iter().map(|v| v * k).collect();
         let x2 = a.solve(&b2).unwrap();
         for (u, v) in x1.iter().zip(&x2) {
-            prop_assert!((v - u * k).abs() < 1e-8 * k.max(1.0) * u.abs().max(1.0));
+            assert!((v - u * k).abs() < 1e-8 * k.max(1.0) * u.abs().max(1.0));
         }
-    }
+    });
+}
 
-    /// RK4 integrates linear decay to the analytic solution.
-    #[test]
-    fn rk4_matches_exponential_decay(lambda in 0.05..5.0f64, y0 in -50.0..50.0f64, t1 in 0.1..5.0f64) {
+/// RK4 integrates linear decay to the analytic solution.
+#[test]
+fn rk4_matches_exponential_decay() {
+    check("rk4_matches_exponential_decay", |g| {
+        let lambda = g.draw(0.05..5.0f64);
+        let y0 = g.draw(-50.0..50.0f64);
+        let t1 = g.draw(0.1..5.0f64);
         let mut y = vec![y0];
-        ode::rk4(&mut y, 0.0, t1, 1e-3, |_t, y, dy| dy[0] = -lambda * y[0], |_t, _y| {});
+        ode::rk4(
+            &mut y,
+            0.0,
+            t1,
+            1e-3,
+            |_t, y, dy| dy[0] = -lambda * y[0],
+            |_t, _y| {},
+        );
         let analytic = y0 * (-lambda * t1).exp();
-        prop_assert!((y[0] - analytic).abs() < 1e-6 * y0.abs().max(1.0));
-    }
+        assert!((y[0] - analytic).abs() < 1e-6 * y0.abs().max(1.0));
+    });
+}
 
-    /// Bisection finds the root of any monotone cubic with a sign change.
-    #[test]
-    fn bisect_monotone_cubic(c in -50.0..50.0f64) {
+/// Bisection finds the root of any monotone cubic with a sign change.
+#[test]
+fn bisect_monotone_cubic() {
+    check("bisect_monotone_cubic", |g| {
+        let c = g.draw(-50.0..50.0f64);
         // f(x) = x^3 + x - c is strictly increasing; root within +-|c|+1
         let bound = c.abs() + 1.0;
         let r = root::bisect(|x| x * x * x + x - c, -bound, bound, 1e-12, 500).unwrap();
-        prop_assert!((r * r * r + r - c).abs() < 1e-6);
-    }
+        assert!((r * r * r + r - c).abs() < 1e-6);
+    });
+}
 
-    /// Newton agrees with bisection on the same cubic.
-    #[test]
-    fn newton_agrees_with_bisect(c in -50.0..50.0f64) {
+/// Newton agrees with bisection on the same cubic.
+#[test]
+fn newton_agrees_with_bisect() {
+    check("newton_agrees_with_bisect", |g| {
+        let c = g.draw(-50.0..50.0f64);
         let bound = c.abs() + 1.0;
         let b = root::bisect(|x| x * x * x + x - c, -bound, bound, 1e-12, 500).unwrap();
         let n = root::newton(|x| x * x * x + x - c, 0.0, 1e-12, 200).unwrap();
-        prop_assert!((b - n).abs() < 1e-6);
-    }
+        assert!((b - n).abs() < 1e-6);
+    });
 }

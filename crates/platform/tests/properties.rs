@@ -1,19 +1,22 @@
 //! Property-based tests for boards, modules and racks.
 
-use proptest::prelude::*;
 use rcs_devices::{FpgaPart, OperatingPoint};
 use rcs_platform::{presets, Ccb, ComputeModule, PowerSupply, Rack};
+use rcs_testkit::{check, Gen};
 use rcs_units::{Celsius, Power};
 
-fn any_part() -> impl Strategy<Value = FpgaPart> {
-    (0usize..5).prop_map(|i| FpgaPart::catalog().swap_remove(i))
+fn any_part(g: &mut Gen) -> FpgaPart {
+    let i = g.draw(0usize..5);
+    FpgaPart::catalog().swap_remove(i)
 }
 
-proptest! {
-    /// A rack never overfills: pushing modules until rejection leaves the
-    /// used height within the rack.
-    #[test]
-    fn rack_never_overfills(height in 10.0..60.0f64, module_height in 1.0..8.0f64) {
+/// A rack never overfills: pushing modules until rejection leaves the
+/// used height within the rack.
+#[test]
+fn rack_never_overfills() {
+    check("rack_never_overfills", |g| {
+        let height = g.draw(10.0..60.0f64);
+        let module_height = g.draw(1.0..8.0f64);
         let module = ComputeModule::new(
             "m",
             Ccb::new(FpgaPart::xcku095(), 8, true),
@@ -26,67 +29,93 @@ proptest! {
         let mut count = 0;
         while rack.push(module.clone()).is_ok() {
             count += 1;
-            prop_assert!(count < 1000, "runaway fill");
+            assert!(count < 1000, "runaway fill");
         }
         let used: f64 = rack.modules().iter().map(ComputeModule::height_units).sum();
-        prop_assert!(used <= height);
-        prop_assert!(rack.free_units() >= -1e-9);
+        assert!(used <= height);
+        assert!(rack.free_units() >= -1e-9);
         // one more never fits
-        prop_assert!(rack.free_units() < module_height);
-    }
+        assert!(rack.free_units() < module_height);
+    });
+}
 
-    /// Module aggregates scale linearly with board count.
-    #[test]
-    fn module_scales_with_boards(part in any_part(), boards in 1usize..16) {
+/// Module aggregates scale linearly with board count.
+#[test]
+fn module_scales_with_boards() {
+    check("module_scales_with_boards", |g| {
+        let part = any_part(g);
+        let boards = g.draw(1usize..16);
         let one = ComputeModule::new(
-            "one", Ccb::new(part.clone(), 8, false), 1, PowerSupply::skat_dcdc(), 1, 3.0);
+            "one",
+            Ccb::new(part.clone(), 8, false),
+            1,
+            PowerSupply::skat_dcdc(),
+            1,
+            3.0,
+        );
         let many = ComputeModule::new(
-            "many", Ccb::new(part, 8, false), boards, PowerSupply::skat_dcdc(), 1, 3.0);
-        prop_assert_eq!(many.compute_fpga_count(), boards * one.compute_fpga_count());
-        let ratio = many.peak_performance().ops_per_second()
-            / one.peak_performance().ops_per_second();
-        prop_assert!((ratio - boards as f64).abs() < 1e-9 * boards as f64);
-    }
+            "many",
+            Ccb::new(part, 8, false),
+            boards,
+            PowerSupply::skat_dcdc(),
+            1,
+            3.0,
+        );
+        assert_eq!(many.compute_fpga_count(), boards * one.compute_fpga_count());
+        let ratio =
+            many.peak_performance().ops_per_second() / one.peak_performance().ops_per_second();
+        assert!((ratio - boards as f64).abs() < 1e-9 * boards as f64);
+    });
+}
 
-    /// Module heat is monotone in utilization and junction temperature for
-    /// every preset.
-    #[test]
-    fn module_heat_monotone(
-        which in 0usize..4, u in 0.1..0.9f64, du in 0.01..0.1f64, t in 30.0..70.0f64
-    ) {
+/// Module heat is monotone in utilization and junction temperature for
+/// every preset.
+#[test]
+fn module_heat_monotone() {
+    check("module_heat_monotone", |g| {
+        let which = g.draw(0usize..4);
+        let u = g.draw(0.1..0.9f64);
+        let du = g.draw(0.01..0.1f64);
+        let t = g.draw(30.0..70.0f64);
         let module = presets::all().swap_remove(which);
         let tj = Celsius::new(t);
         let lo = module.total_heat(OperatingPoint::at_utilization(u), tj);
         let hi = module.total_heat(OperatingPoint::at_utilization(u + du), tj);
-        prop_assert!(hi >= lo);
-        let hotter = module.total_heat(
-            OperatingPoint::at_utilization(u), Celsius::new(t + 10.0));
-        prop_assert!(hotter >= lo);
-    }
+        assert!(hi >= lo);
+        let hotter = module.total_heat(OperatingPoint::at_utilization(u), Celsius::new(t + 10.0));
+        assert!(hotter >= lo);
+    });
+}
 
-    /// PSU efficiency stays in a physical band over its whole load range
-    /// and input always exceeds output.
-    #[test]
-    fn psu_is_physical(load_kw in 0.0..4.8f64) {
+/// PSU efficiency stays in a physical band over its whole load range
+/// and input always exceeds output.
+#[test]
+fn psu_is_physical() {
+    check("psu_is_physical", |g| {
+        let load_kw = g.draw(0.0..4.8f64);
         let psu = PowerSupply::skat_dcdc();
         let out = Power::kilowatts(load_kw);
         let eff = psu.efficiency(out);
-        prop_assert!(eff > 0.90 && eff < 1.0, "eff {eff}");
+        assert!(eff > 0.90 && eff < 1.0, "eff {eff}");
         if load_kw > 0.0 {
-            prop_assert!(psu.input_power(out) > out);
-            prop_assert!(psu.loss(out).watts() >= 0.0);
+            assert!(psu.input_power(out) > out);
+            assert!(psu.loss(out).watts() >= 0.0);
         }
-    }
+    });
+}
 
-    /// Boards with bigger packages need wider boards; fitting is monotone
-    /// in package count.
-    #[test]
-    fn board_width_monotone(part in any_part(), n1 in 1usize..8) {
+/// Boards with bigger packages need wider boards; fitting is monotone
+/// in package count.
+#[test]
+fn board_width_monotone() {
+    check("board_width_monotone", |g| {
+        let part = any_part(g);
+        let n1 = g.draw(1usize..8);
         let small = Ccb::new(part.clone(), n1, false);
         let large = Ccb::new(part, n1 + 1, false);
-        prop_assert!(large.required_width() > small.required_width());
+        assert!(large.required_width() > small.required_width());
         if !small.fits_standard_rack() {
-            prop_assert!(!large.fits_standard_rack());
+            assert!(!large.fits_standard_rack());
         }
-    }
+    });
 }

@@ -6,8 +6,7 @@
 //! ref \[4\]).
 //! A seeded random-DAG generator supports property testing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rcs_numeric::rng::Rng;
 
 use crate::graph::{OpKind, TaskGraph};
 
@@ -200,7 +199,7 @@ pub fn systolic_mac_cell() -> TaskGraph {
 #[must_use]
 pub fn random_dag(ops: usize, seed: u64) -> TaskGraph {
     assert!(ops > 0, "need at least one operation");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut g = TaskGraph::new(format!("random-{seed}"));
     let kinds = [
         OpKind::Add,

@@ -1,96 +1,127 @@
 //! Property-based tests for graphs and the field mapper.
 
-use proptest::prelude::*;
 use rcs_devices::FpgaPart;
 use rcs_taskgraph::{map_onto, workloads, FpgaField, MapError};
+use rcs_testkit::check;
 
-proptest! {
-    /// Random layered DAGs are always valid and analyzable.
-    #[test]
-    fn random_dags_are_valid(ops in 1usize..120, seed in 0u64..500) {
-        let g = workloads::random_dag(ops, seed);
-        prop_assert_eq!(g.op_count(), ops);
-        prop_assert!(g.topo_order().is_ok());
-        prop_assert!(g.critical_path_cycles().unwrap() >= 1);
-        prop_assert!(g.logic_cells() > 0);
-    }
+/// Random layered DAGs are always valid and analyzable.
+#[test]
+fn random_dags_are_valid() {
+    check("random_dags_are_valid", |g| {
+        let ops = g.draw(1usize..120);
+        let seed = g.draw(0u64..500);
+        let graph = workloads::random_dag(ops, seed);
+        assert_eq!(graph.op_count(), ops);
+        assert!(graph.topo_order().is_ok());
+        assert!(graph.critical_path_cycles().unwrap() >= 1);
+        assert!(graph.logic_cells() > 0);
+    });
+}
 
-    /// Critical path never exceeds the serial sum of latencies and never
-    /// undercuts the largest single latency.
-    #[test]
-    fn critical_path_bounds(ops in 1usize..80, seed in 0u64..200) {
-        let g = workloads::random_dag(ops, seed);
-        let path = g.critical_path_cycles().unwrap();
-        let total: u32 = g.ops().iter().map(|o| o.kind.latency_cycles()).sum();
-        let max_single: u32 =
-            g.ops().iter().map(|o| o.kind.latency_cycles()).max().unwrap();
-        prop_assert!(path <= total);
-        prop_assert!(path >= max_single);
-    }
+/// Critical path never exceeds the serial sum of latencies and never
+/// undercuts the largest single latency.
+#[test]
+fn critical_path_bounds() {
+    check("critical_path_bounds", |g| {
+        let ops = g.draw(1usize..80);
+        let seed = g.draw(0u64..200);
+        let graph = workloads::random_dag(ops, seed);
+        let path = graph.critical_path_cycles().unwrap();
+        let total: u32 = graph.ops().iter().map(|o| o.kind.latency_cycles()).sum();
+        let max_single: u32 = graph
+            .ops()
+            .iter()
+            .map(|o| o.kind.latency_cycles())
+            .max()
+            .unwrap();
+        assert!(path <= total);
+        assert!(path >= max_single);
+    });
+}
 
-    /// Mapping invariants on random graphs and field sizes: utilization in
-    /// (0, 1], throughput positive, never above the exact cell-budget
-    /// ceiling (total cells / cells-per-op x clock).
-    #[test]
-    fn mapping_invariants(ops in 1usize..60, seed in 0u64..100, chips in 1usize..16) {
-        let g = workloads::random_dag(ops, seed);
+/// Mapping invariants on random graphs and field sizes: utilization in
+/// (0, 1], throughput positive, never above the exact cell-budget
+/// ceiling (total cells / cells-per-op x clock).
+#[test]
+fn mapping_invariants() {
+    check("mapping_invariants", |g| {
+        let ops = g.draw(1usize..60);
+        let seed = g.draw(0u64..100);
+        let chips = g.draw(1usize..16);
+        let graph = workloads::random_dag(ops, seed);
         let field = FpgaField::uniform(FpgaPart::xcku095(), chips);
-        match map_onto(&g, &field) {
+        match map_onto(&graph, &field) {
             Ok(m) => {
-                prop_assert!(m.utilization > 0.0 && m.utilization <= 1.0);
-                prop_assert!(m.copies >= 1);
-                prop_assert!(m.throughput.ops_per_second() > 0.0);
+                assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+                assert!(m.copies >= 1);
+                assert!(m.throughput.ops_per_second() > 0.0);
                 // copies = floor(total/copy_cells), so throughput is capped
                 // by the cell budget at the design clock
                 let clock = FpgaPart::xcku095().design_clock().hertz();
-                let cells_per_op = g.logic_cells() as f64 / g.op_count() as f64;
+                let cells_per_op = graph.logic_cells() as f64 / graph.op_count() as f64;
                 let ceiling = field.total_logic_cells() as f64 * clock / cells_per_op;
-                prop_assert!(
+                assert!(
                     m.throughput.ops_per_second() <= ceiling * (1.0 + 1e-9),
                     "throughput {} vs ceiling {ceiling}",
                     m.throughput.ops_per_second()
                 );
-                prop_assert!(m.chips_per_copy >= 1 && m.chips_per_copy <= chips.max(1) * 2);
+                assert!(m.chips_per_copy >= 1 && m.chips_per_copy <= chips.max(1) * 2);
             }
-            Err(MapError::DoesNotFit { required_cells, available_cells }) => {
-                prop_assert!(required_cells > available_cells);
+            Err(MapError::DoesNotFit {
+                required_cells,
+                available_cells,
+            }) => {
+                assert!(required_cells > available_cells);
             }
-            Err(e) => prop_assert!(false, "unexpected error {e}"),
+            Err(e) => panic!("unexpected error {e}"),
         }
-    }
+    });
+}
 
-    /// A bigger field never maps to less throughput.
-    #[test]
-    fn throughput_monotone_in_field(ops in 1usize..40, seed in 0u64..50, chips in 1usize..8) {
-        let g = workloads::random_dag(ops, seed);
-        let small = map_onto(&g, &FpgaField::uniform(FpgaPart::xcku095(), chips));
-        let large = map_onto(&g, &FpgaField::uniform(FpgaPart::xcku095(), chips * 2));
+/// A bigger field never maps to less throughput.
+#[test]
+fn throughput_monotone_in_field() {
+    check("throughput_monotone_in_field", |g| {
+        let ops = g.draw(1usize..40);
+        let seed = g.draw(0u64..50);
+        let chips = g.draw(1usize..8);
+        let graph = workloads::random_dag(ops, seed);
+        let small = map_onto(&graph, &FpgaField::uniform(FpgaPart::xcku095(), chips));
+        let large = map_onto(&graph, &FpgaField::uniform(FpgaPart::xcku095(), chips * 2));
         if let (Ok(s), Ok(l)) = (small, large) {
-            prop_assert!(l.throughput.ops_per_second() >= s.throughput.ops_per_second());
+            assert!(l.throughput.ops_per_second() >= s.throughput.ops_per_second());
         }
-    }
+    });
+}
 
-    /// Newer parts never map to less throughput for the same graph.
-    #[test]
-    fn throughput_monotone_in_generation(ops in 1usize..40, seed in 0u64..50) {
-        let g = workloads::random_dag(ops, seed);
+/// Newer parts never map to less throughput for the same graph.
+#[test]
+fn throughput_monotone_in_generation() {
+    check("throughput_monotone_in_generation", |g| {
+        let ops = g.draw(1usize..40);
+        let seed = g.draw(0u64..50);
+        let graph = workloads::random_dag(ops, seed);
         let parts = FpgaPart::catalog();
         let mut last = 0.0;
         for part in parts {
-            if let Ok(m) = map_onto(&g, &FpgaField::uniform(part, 8)) {
-                prop_assert!(m.throughput.ops_per_second() >= last);
+            if let Ok(m) = map_onto(&graph, &FpgaField::uniform(part, 8)) {
+                assert!(m.throughput.ops_per_second() >= last);
                 last = m.throughput.ops_per_second();
             }
         }
-    }
+    });
+}
 
-    /// Mapping is deterministic.
-    #[test]
-    fn mapping_is_deterministic(ops in 1usize..50, seed in 0u64..50) {
-        let g = workloads::random_dag(ops, seed);
+/// Mapping is deterministic.
+#[test]
+fn mapping_is_deterministic() {
+    check("mapping_is_deterministic", |g| {
+        let ops = g.draw(1usize..50);
+        let seed = g.draw(0u64..50);
+        let graph = workloads::random_dag(ops, seed);
         let field = FpgaField::uniform(FpgaPart::vu9p_class(), 4);
-        let a = map_onto(&g, &field);
-        let b = map_onto(&g, &field);
-        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
-    }
+        let a = map_onto(&graph, &field);
+        let b = map_onto(&graph, &field);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    });
 }

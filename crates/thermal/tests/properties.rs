@@ -1,7 +1,7 @@
 //! Property-based tests for thermal networks: conservation, linearity,
 //! and transient/steady agreement on randomized topologies.
 
-use proptest::prelude::*;
+use rcs_testkit::{check_cases, Gen};
 use rcs_thermal::{ThermalNetwork, TimAging, TimMaterial};
 use rcs_units::{Celsius, Power, Seconds, ThermalResistance};
 
@@ -28,52 +28,61 @@ fn star_network(
     (net, heated)
 }
 
-fn chain_strategy() -> impl Strategy<Value = (f64, Vec<f64>)> {
-    (1.0..200.0f64, prop::collection::vec(0.01..2.0f64, 1..4))
+/// One random chain: a heat load and 1–3 series resistances.
+fn chain(g: &mut Gen) -> (f64, Vec<f64>) {
+    let power = g.draw(1.0..200.0f64);
+    let resistances = g.vec_f64_in(0.01..2.0, 1..4);
+    (power, resistances)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn chains(g: &mut Gen, count: core::ops::Range<usize>) -> Vec<(f64, Vec<f64>)> {
+    let n = g.draw(count);
+    (0..n).map(|_| chain(g)).collect()
+}
 
-    /// Whatever the topology, injected heat equals heat absorbed by the
-    /// boundary.
-    #[test]
-    fn energy_is_conserved(
-        chains in prop::collection::vec(chain_strategy(), 1..6),
-        ambient in -10.0..40.0f64,
-    ) {
+/// Whatever the topology, injected heat equals heat absorbed by the
+/// boundary.
+#[test]
+fn energy_is_conserved() {
+    check_cases("energy_is_conserved", 64, |g| {
+        let chains = chains(g, 1..6);
+        let ambient = g.draw(-10.0..40.0f64);
         let (net, _) = star_network(&chains, ambient);
         let s = net.solve_steady().unwrap();
         let total: f64 = chains.iter().map(|(p, _)| *p).sum();
-        prop_assert!(s.energy_residual().watts().abs() < 1e-6 * total.max(1.0));
-    }
+        assert!(s.energy_residual().watts().abs() < 1e-6 * total.max(1.0));
+    });
+}
 
-    /// Every heated node sits above ambient, by exactly P * sum(R) for its
-    /// own chain (chains are independent in a star).
-    #[test]
-    fn chain_superposition(
-        chains in prop::collection::vec(chain_strategy(), 1..6),
-        ambient in -10.0..40.0f64,
-    ) {
+/// Every heated node sits above ambient, by exactly P * sum(R) for its
+/// own chain (chains are independent in a star).
+#[test]
+fn chain_superposition() {
+    check_cases("chain_superposition", 64, |g| {
+        let chains = chains(g, 1..6);
+        let ambient = g.draw(-10.0..40.0f64);
         let (net, heated) = star_network(&chains, ambient);
         let s = net.solve_steady().unwrap();
         for ((power, resistances), node) in chains.iter().zip(&heated) {
             let expected = ambient + power * resistances.iter().sum::<f64>();
-            prop_assert!(
+            assert!(
                 (s.temperature(*node).degrees() - expected).abs() < 1e-6,
                 "node {:?}: {} vs {}",
-                node, s.temperature(*node), expected
+                node,
+                s.temperature(*node),
+                expected
             );
         }
-    }
+    });
+}
 
-    /// Doubling every heat source doubles every overheat (the network is
-    /// linear).
-    #[test]
-    fn solution_is_linear_in_power(
-        chains in prop::collection::vec(chain_strategy(), 1..5),
-        ambient in 0.0..30.0f64,
-    ) {
+/// Doubling every heat source doubles every overheat (the network is
+/// linear).
+#[test]
+fn solution_is_linear_in_power() {
+    check_cases("solution_is_linear_in_power", 64, |g| {
+        let chains = chains(g, 1..5);
+        let ambient = g.draw(0.0..30.0f64);
         let (net, heated) = star_network(&chains, ambient);
         let s1 = net.solve_steady().unwrap();
         let doubled: Vec<(f64, Vec<f64>)> =
@@ -83,53 +92,62 @@ proptest! {
         for (a, b) in heated.iter().zip(&heated2) {
             let d1 = s1.temperature(*a).degrees() - ambient;
             let d2 = s2.temperature(*b).degrees() - ambient;
-            prop_assert!((d2 - 2.0 * d1).abs() < 1e-6);
+            assert!((d2 - 2.0 * d1).abs() < 1e-6);
         }
-    }
+    });
+}
 
-    /// The transient solution settles to the steady solution for randomized
-    /// RC chains.
-    #[test]
-    fn transient_settles_to_steady(
-        power in 5.0..100.0f64,
-        r1 in 0.05..1.0f64,
-        r2 in 0.05..1.0f64,
-        c1 in 5.0..50.0f64,
-        c2 in 5.0..50.0f64,
-    ) {
+/// The transient solution settles to the steady solution for randomized
+/// RC chains.
+#[test]
+fn transient_settles_to_steady() {
+    check_cases("transient_settles_to_steady", 64, |g| {
+        let power = g.draw(5.0..100.0f64);
+        let r1 = g.draw(0.05..1.0f64);
+        let r2 = g.draw(0.05..1.0f64);
+        let c1 = g.draw(5.0..50.0f64);
+        let c2 = g.draw(5.0..50.0f64);
         let mut net = ThermalNetwork::new();
         let amb = net.add_boundary("amb", Celsius::new(20.0));
         let a = net.add_node_with_capacitance("a", c1);
         let b = net.add_node_with_capacitance("b", c2);
-        net.connect(a, b, ThermalResistance::from_kelvin_per_watt(r1)).unwrap();
-        net.connect(b, amb, ThermalResistance::from_kelvin_per_watt(r2)).unwrap();
+        net.connect(a, b, ThermalResistance::from_kelvin_per_watt(r1))
+            .unwrap();
+        net.connect(b, amb, ThermalResistance::from_kelvin_per_watt(r2))
+            .unwrap();
         net.add_heat(a, Power::from_watts(power)).unwrap();
 
         let steady = net.solve_steady().unwrap();
         // integrate long enough: ~12 time constants of the slowest pole
         let tau = (r1 + r2) * (c1 + c2);
         let trace = net
-            .solve_transient(Celsius::new(20.0), Seconds::new(12.0 * tau), Seconds::new(tau / 400.0))
+            .solve_transient(
+                Celsius::new(20.0),
+                Seconds::new(12.0 * tau),
+                Seconds::new(tau / 400.0),
+            )
             .unwrap();
         for node in [a, b] {
-            prop_assert!(
-                (trace.final_temperature(node).degrees()
-                    - steady.temperature(node).degrees())
-                .abs()
+            assert!(
+                (trace.final_temperature(node).degrees() - steady.temperature(node).degrees())
+                    .abs()
                     < 0.05,
                 "node {node:?}"
             );
         }
-    }
+    });
+}
 
-    /// TIM washout: resistance after any immersion time is bounded between
-    /// fresh and the 4x floor, monotonically.
-    #[test]
-    fn washout_bounds(months in 0.0..240.0f64) {
+/// TIM washout: resistance after any immersion time is bounded between
+/// fresh and the 4x floor, monotonically.
+#[test]
+fn washout_bounds() {
+    check_cases("washout_bounds", 64, |g| {
+        let months = g.draw(0.0..240.0f64);
         let m = TimMaterial::StandardPaste;
         let k = m.conductivity_after(TimAging::immersed_months(months));
         let fresh = m.fresh_conductivity_w_per_m_k();
-        prop_assert!(k <= fresh + 1e-12);
-        prop_assert!(k >= 0.25 * fresh - 1e-12);
-    }
+        assert!(k <= fresh + 1e-12);
+        assert!(k >= 0.25 * fresh - 1e-12);
+    });
 }

@@ -1,13 +1,13 @@
 //! Property-based tests on the coupled models: physical monotonicities
 //! that must hold across the whole parameter space.
 
-use proptest::prelude::*;
 use rcs_sim::cooling::ImmersionBath;
 use rcs_sim::core::ImmersionModel;
 use rcs_sim::devices::OperatingPoint;
 use rcs_sim::platform::presets;
 use rcs_sim::thermal::Chiller;
 use rcs_sim::units::{Celsius, Power};
+use rcs_testkit::check_cases;
 
 fn skat_with_setpoint(setpoint_c: f64) -> ImmersionModel {
     let mut bath = ImmersionBath::skat_default();
@@ -15,12 +15,12 @@ fn skat_with_setpoint(setpoint_c: f64) -> ImmersionModel {
     ImmersionModel::new(presets::skat(), bath)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// More utilization never cools the chips.
-    #[test]
-    fn junction_monotone_in_utilization(u1 in 0.1..0.85f64, du in 0.02..0.15f64) {
+/// More utilization never cools the chips.
+#[test]
+fn junction_monotone_in_utilization() {
+    check_cases("junction_monotone_in_utilization", 24, |g| {
+        let u1 = g.draw(0.1..0.85f64);
+        let du = g.draw(0.02..0.15f64);
         let lo = ImmersionModel::skat()
             .with_operating_point(OperatingPoint::at_utilization(u1))
             .solve()
@@ -29,26 +29,36 @@ proptest! {
             .with_operating_point(OperatingPoint::at_utilization(u1 + du))
             .solve()
             .unwrap();
-        prop_assert!(hi.junction >= lo.junction);
-        prop_assert!(hi.total_heat >= lo.total_heat);
-    }
+        assert!(hi.junction >= lo.junction);
+        assert!(hi.total_heat >= lo.total_heat);
+    });
+}
 
-    /// Colder chiller water never warms the chips, and the junction shift
-    /// is no larger than the setpoint shift (the system is passively
-    /// stable, not amplifying).
-    #[test]
-    fn junction_tracks_chiller_setpoint(t1 in 10.0..22.0f64, dt in 1.0..6.0f64) {
+/// Colder chiller water never warms the chips, and the junction shift
+/// is no larger than the setpoint shift (the system is passively
+/// stable, not amplifying).
+#[test]
+fn junction_tracks_chiller_setpoint() {
+    check_cases("junction_tracks_chiller_setpoint", 24, |g| {
+        let t1 = g.draw(10.0..22.0f64);
+        let dt = g.draw(1.0..6.0f64);
         let cold = skat_with_setpoint(t1).solve().unwrap();
         let warm = skat_with_setpoint(t1 + dt).solve().unwrap();
-        prop_assert!(warm.junction >= cold.junction);
+        assert!(warm.junction >= cold.junction);
         let shift = (warm.junction - cold.junction).kelvins();
-        prop_assert!(shift <= dt * 1.3 + 0.2, "shift {shift} for setpoint change {dt}");
-    }
+        assert!(
+            shift <= dt * 1.3 + 0.2,
+            "shift {shift} for setpoint change {dt}"
+        );
+    });
+}
 
-    /// Energy balance: the heat-transfer agent's rise times its capacity
-    /// rate equals the rejected heat within solver tolerance.
-    #[test]
-    fn bath_energy_balance(u in 0.3..1.0f64) {
+/// Energy balance: the heat-transfer agent's rise times its capacity
+/// rate equals the rejected heat within solver tolerance.
+#[test]
+fn bath_energy_balance() {
+    check_cases("bath_energy_balance", 24, |g| {
+        let u = g.draw(0.3..1.0f64);
         let report = ImmersionModel::skat()
             .with_operating_point(OperatingPoint::at_utilization(u))
             .solve()
@@ -60,28 +70,46 @@ proptest! {
         let carried = capacity * (report.coolant_hot - report.coolant_cold);
         // the carried heat includes pump heat; allow 15 %
         let rel = (carried.watts() - report.total_heat.watts()).abs() / report.total_heat.watts();
-        prop_assert!(rel < 0.15, "carried {} vs heat {}", carried, report.total_heat);
-    }
+        assert!(
+            rel < 0.15,
+            "carried {} vs heat {}",
+            carried,
+            report.total_heat
+        );
+    });
+}
 
-    /// Junction always exceeds the hot-oil temperature, which always
-    /// exceeds the chiller setpoint: the heat path has no free lunches.
-    #[test]
-    fn temperature_ordering(u in 0.2..1.0f64, setpoint in 12.0..24.0f64) {
+/// Junction always exceeds the hot-oil temperature, which always
+/// exceeds the chiller setpoint: the heat path has no free lunches.
+#[test]
+fn temperature_ordering() {
+    check_cases("temperature_ordering", 24, |g| {
+        let u = g.draw(0.2..1.0f64);
+        let setpoint = g.draw(12.0..24.0f64);
         let report = skat_with_setpoint(setpoint)
             .with_operating_point(OperatingPoint::at_utilization(u))
             .solve()
             .unwrap();
-        prop_assert!(report.junction > report.coolant_hot);
-        prop_assert!(report.coolant_hot > report.coolant_cold);
-        prop_assert!(report.coolant_cold > Celsius::new(setpoint));
-    }
+        assert!(report.junction > report.coolant_hot);
+        assert!(report.coolant_hot > report.coolant_cold);
+        assert!(report.coolant_cold > Celsius::new(setpoint));
+    });
+}
 
-    /// The coupled solve is deterministic: same inputs, same outputs.
-    #[test]
-    fn solve_is_deterministic(u in 0.2..1.0f64) {
+/// The coupled solve is deterministic: same inputs, same outputs.
+#[test]
+fn solve_is_deterministic() {
+    check_cases("solve_is_deterministic", 24, |g| {
+        let u = g.draw(0.2..1.0f64);
         let op = OperatingPoint::at_utilization(u);
-        let a = ImmersionModel::skat().with_operating_point(op).solve().unwrap();
-        let b = ImmersionModel::skat().with_operating_point(op).solve().unwrap();
-        prop_assert_eq!(a, b);
-    }
+        let a = ImmersionModel::skat()
+            .with_operating_point(op)
+            .solve()
+            .unwrap();
+        let b = ImmersionModel::skat()
+            .with_operating_point(op)
+            .solve()
+            .unwrap();
+        assert_eq!(a, b);
+    });
 }
