@@ -1,7 +1,9 @@
-//! Built-in wall-clock benchmark harness plus the workspace's two
+//! Built-in wall-clock benchmark harness plus the workspace's three
 //! benchmark suites: `benches/solvers.rs` (substrate solver
-//! micro-benchmarks) and `benches/experiments.rs` (one benchmark per
-//! paper table/figure).
+//! micro-benchmarks), `benches/experiments.rs` (one benchmark per
+//! paper table/figure) and `benches/parallel.rs` (thread-count-swept
+//! Monte-Carlo and fleet sweeps with a serial-vs-parallel speedup
+//! report).
 //!
 //! The harness is vendored so that benchmarking needs no external
 //! crates: each target is warmed up, then timed for a fixed number of
@@ -87,10 +89,18 @@ impl Harness {
 
     /// Times `f`, printing median and minimum per-iteration wall-clock
     /// time. Skipped if a name filter is set and does not match.
-    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, f: F) {
+        let _ = self.bench_median(name, f);
+    }
+
+    /// Like [`Harness::bench`], but also returns the median
+    /// per-iteration time so callers can derive comparative reports
+    /// (e.g. the serial-vs-parallel speedups in `benches/parallel.rs`).
+    /// Returns `None` when a name filter skipped the benchmark.
+    pub fn bench_median<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) -> Option<Duration> {
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
-                return;
+                return None;
             }
         }
         let stats = self.measure(&mut f);
@@ -102,6 +112,7 @@ impl Harness {
             stats.samples,
             stats.iters_per_sample,
         );
+        Some(stats.median)
     }
 
     /// Prints a closing summary; call once after the last benchmark.

@@ -3,10 +3,29 @@
 //! Draws failure events for every [`FailureClass`] as a Poisson process over a service horizon and accumulates downtime
 //! and hardware losses, turning §2's qualitative reliability comparison
 //! into distributions.
+//!
+//! # Determinism contract
+//!
+//! The study is a pure function of `(classes, horizon, trials, seed)` at
+//! **any** thread count. Trials are partitioned into fixed-size chunks
+//! ([`TRIALS_PER_CHUNK`], independent of the thread count); chunk `i`
+//! draws from RNG stream `i` of `Rng::split_streams` (streams 2^128
+//! steps apart, so they provably never overlap); and partial results are
+//! reduced in chunk order. Scheduling chunks onto 1, 2 or 64 workers
+//! therefore changes wall-clock time only — never a single bit of the
+//! report.
 
 use rcs_numeric::rng::Rng;
+use rcs_numeric::stats::percentile;
+use rcs_units::HOURS_PER_YEAR;
 
 use crate::risk::FailureClass;
+
+/// Trials per RNG stream/work item. Fixed — never derived from the
+/// thread count — so the chunk → stream mapping is pinned by the seed
+/// alone. 64 trials is coarse enough that pool overhead is noise and
+/// fine enough that a 4000-trial study still fans out 63 ways.
+pub const TRIALS_PER_CHUNK: usize = 64;
 
 /// Result of one Monte-Carlo availability study.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,7 +36,7 @@ pub struct AvailabilityReport {
     pub trials: usize,
     /// Mean availability (uptime fraction) across trials.
     pub mean_availability: f64,
-    /// 5th percentile availability (a bad-luck deployment).
+    /// 5th percentile availability (a bad-luck deployment), nearest-rank.
     pub p05_availability: f64,
     /// Mean failure events per module-year.
     pub mean_events_per_year: f64,
@@ -25,32 +44,27 @@ pub struct AvailabilityReport {
     pub mean_hardware_losses: f64,
 }
 
-/// Runs a seeded Monte-Carlo availability study over the given failure
-/// classes.
-///
-/// Each class is a Poisson process with its annual rate; every event costs
-/// its class downtime and, with the class probability, a hardware loss.
-/// Deterministic for a fixed seed.
-///
-/// # Panics
-///
-/// Panics if `horizon_years` is not positive or `trials` is zero.
-#[must_use]
-pub fn monte_carlo(
+/// One chunk's contribution, reduced in chunk order.
+struct ChunkOutcome {
+    /// Per-trial availabilities, in trial order.
+    availabilities: Vec<f64>,
+    /// Failure events across the chunk (integer count, order-free).
+    events: u64,
+    /// Hardware-loss events across the chunk.
+    losses: u64,
+}
+
+/// Runs the trials of one chunk on its own RNG stream.
+fn run_chunk(
     classes: &[FailureClass],
     horizon_years: f64,
+    hours_total: f64,
     trials: usize,
-    seed: u64,
-) -> AvailabilityReport {
-    assert!(horizon_years > 0.0, "horizon must be positive");
-    assert!(trials > 0, "at least one trial required");
-    let mut rng = Rng::seed_from_u64(seed);
-    let hours_total = horizon_years * 8766.0;
-
+    rng: &mut Rng,
+) -> ChunkOutcome {
     let mut availabilities = Vec::with_capacity(trials);
-    let mut total_events = 0usize;
-    let mut total_losses = 0.0f64;
-
+    let mut events = 0u64;
+    let mut losses = 0u64;
     for _ in 0..trials {
         let mut downtime = 0.0;
         for class in classes {
@@ -65,19 +79,93 @@ pub fn monte_carlo(
                 if t > horizon_years {
                     break;
                 }
-                total_events += 1;
+                events += 1;
                 downtime += class.consequence.downtime_hours;
                 if rng.gen_bool(class.consequence.hardware_loss_probability.clamp(0.0, 1.0)) {
-                    total_losses += 1.0;
+                    losses += 1;
                 }
             }
         }
         availabilities.push(1.0 - (downtime / hours_total).min(1.0));
     }
+    ChunkOutcome {
+        availabilities,
+        events,
+        losses,
+    }
+}
+
+/// Runs a seeded Monte-Carlo availability study over the given failure
+/// classes, on the default worker count (`rcs_parallel::thread_count`).
+///
+/// Each class is a Poisson process with its annual rate; every event costs
+/// its class downtime and, with the class probability, a hardware loss.
+/// Deterministic for a fixed seed at any thread count (see the module
+/// docs for the chunking contract).
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive or `trials` is zero.
+#[must_use]
+pub fn monte_carlo(
+    classes: &[FailureClass],
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+) -> AvailabilityReport {
+    monte_carlo_with_threads(
+        classes,
+        horizon_years,
+        trials,
+        seed,
+        rcs_parallel::thread_count(),
+    )
+}
+
+/// [`monte_carlo`] with an explicit worker count.
+///
+/// The report is bit-identical for every `threads` value; the
+/// determinism tests assert this across 1/2/4/7 workers.
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive or `trials` is zero.
+#[must_use]
+pub fn monte_carlo_with_threads(
+    classes: &[FailureClass],
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> AvailabilityReport {
+    assert!(horizon_years > 0.0, "horizon must be positive");
+    assert!(trials > 0, "at least one trial required");
+    let hours_total = horizon_years * HOURS_PER_YEAR;
+
+    // Fixed partition, one jumped stream per chunk: the work list is a
+    // function of (trials, seed) only.
+    let chunks = rcs_parallel::fixed_chunks(trials, TRIALS_PER_CHUNK);
+    let streams = Rng::seed_from_u64(seed).split_streams(chunks.len());
+    let work: Vec<(usize, Rng)> = chunks.into_iter().map(|r| r.len()).zip(streams).collect();
+
+    let partials = rcs_parallel::par_map_indexed(work, threads, |_, (len, mut rng)| {
+        run_chunk(classes, horizon_years, hours_total, len, &mut rng)
+    });
+
+    // Fixed-order reduction: chunk 0, chunk 1, ... regardless of which
+    // worker finished first, so float accumulation order is pinned.
+    let mut availabilities = Vec::with_capacity(trials);
+    let mut total_events = 0u64;
+    let mut total_losses = 0u64;
+    for partial in partials {
+        availabilities.extend(partial.availabilities);
+        total_events += partial.events;
+        total_losses += partial.losses;
+    }
 
     availabilities.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
     let mean = availabilities.iter().sum::<f64>() / trials as f64;
-    let p05 = availabilities[(trials as f64 * 0.05) as usize];
+    let p05 = percentile(&availabilities, 0.05);
 
     AvailabilityReport {
         horizon_years,
@@ -85,7 +173,7 @@ pub fn monte_carlo(
         mean_availability: mean,
         p05_availability: p05,
         mean_events_per_year: total_events as f64 / (trials as f64 * horizon_years),
-        mean_hardware_losses: total_losses / trials as f64,
+        mean_hardware_losses: total_losses as f64 / trials as f64,
     }
 }
 
@@ -105,6 +193,29 @@ mod tests {
         assert_eq!(a, b);
         let c = monte_carlo(&classes, 5.0, 500, 43);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn identical_at_every_thread_count() {
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let serial = monte_carlo_with_threads(&classes, 5.0, 700, 42, 1);
+        for threads in [2, 4, 7] {
+            let parallel = monte_carlo_with_threads(&classes, 5.0, 700, 42, threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partial_final_chunk_is_handled() {
+        // 70 trials = one full 64-trial chunk + one 6-trial chunk.
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let r = monte_carlo(&classes, 5.0, 70, 9);
+        assert_eq!(r.trials, 70);
+        assert!(r.mean_availability > 0.9 && r.mean_availability <= 1.0);
     }
 
     #[test]
@@ -155,5 +266,28 @@ mod tests {
         ));
         let r = monte_carlo(&classes, 5.0, 1000, 3);
         assert!(r.p05_availability <= r.mean_availability);
+    }
+
+    #[test]
+    fn small_samples_use_nearest_rank_not_the_minimum() {
+        // Regression for the truncation bug: with 19 trials the old code
+        // indexed (19 * 0.05) as usize = 0 — always the minimum — even
+        // though that happens to coincide with nearest-rank for n < 21.
+        // Assert the helper is actually wired in: with 40 trials the
+        // nearest-rank p05 is the 2nd-smallest, not the minimum.
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let r = monte_carlo(&classes, 5.0, 40, 5);
+        // reconstruct the sorted per-trial availabilities via a 1-chunk
+        // rerun of the same seed and compare ranks
+        let chunks = rcs_parallel::fixed_chunks(40, TRIALS_PER_CHUNK);
+        assert_eq!(chunks.len(), 1);
+        let mut rng = Rng::seed_from_u64(5);
+        let mut chunk = run_chunk(&classes, 5.0, 5.0 * HOURS_PER_YEAR, 40, &mut rng);
+        chunk
+            .availabilities
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        assert_eq!(r.p05_availability, chunk.availabilities[1]);
     }
 }

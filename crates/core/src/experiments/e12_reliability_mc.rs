@@ -57,24 +57,25 @@ fn label(arch: &CoolingArchitecture) -> String {
 }
 
 /// Computes the per-architecture rows.
+///
+/// The four architectures are independent seeded studies, so they run as
+/// parallel work items (each of which chunks its own trials in turn);
+/// row order and every value are identical to the serial sweep.
 #[must_use]
 pub fn rows() -> Vec<ReliabilityRow> {
-    architectures()
-        .iter()
-        .map(|arch| {
-            let classes = risk::failure_classes(arch);
-            let mc = availability::monte_carlo(&classes, HORIZON_YEARS, TRIALS, SEED);
-            ReliabilityRow {
-                architecture: label(arch),
-                connections: arch.pressure_tight_connections(),
-                events_per_year: classes.iter().map(|c| c.rate_per_year).sum(),
-                downtime_hours_per_year: risk::expected_annual_downtime_hours(&classes),
-                availability: mc.mean_availability,
-                p05_availability: mc.p05_availability,
-                hardware_losses: mc.mean_hardware_losses,
-            }
-        })
-        .collect()
+    rcs_parallel::par_map(architectures(), |_, arch| {
+        let classes = risk::failure_classes(&arch);
+        let mc = availability::monte_carlo(&classes, HORIZON_YEARS, TRIALS, SEED);
+        ReliabilityRow {
+            architecture: label(&arch),
+            connections: arch.pressure_tight_connections(),
+            events_per_year: classes.iter().map(|c| c.rate_per_year).sum(),
+            downtime_hours_per_year: risk::expected_annual_downtime_hours(&classes),
+            availability: mc.mean_availability,
+            p05_availability: mc.p05_availability,
+            hardware_losses: mc.mean_hardware_losses,
+        }
+    })
 }
 
 /// Renders the experiment tables.

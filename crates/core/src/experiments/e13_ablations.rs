@@ -34,16 +34,19 @@ pub struct CoolantAblationRow {
 }
 
 /// Runs the coupled model with each candidate coolant in the SKAT bath.
+///
+/// The four coupled solves are independent, so the sweep fans out over
+/// the worker pool; the deterministic fixed-order collection keeps the
+/// row order (and every number) identical to the serial sweep.
 #[must_use]
 pub fn coolant_rows() -> Vec<CoolantAblationRow> {
-    [
+    let candidates = vec![
         Coolant::src_dielectric(),
         Coolant::mineral_oil_md45(),
         Coolant::water(), // counterfactual: perfect coolant, fatal chemistry
         Coolant::glycol30(),
-    ]
-    .into_iter()
-    .map(|coolant| {
+    ];
+    rcs_parallel::par_map(candidates, |_, coolant| {
         let mut bath = ImmersionBath::skat_default();
         let name = coolant.name().to_owned();
         let grade = coolant.is_immersion_grade();
@@ -60,16 +63,15 @@ pub fn coolant_rows() -> Vec<CoolantAblationRow> {
             pump_w: report.circulation_power.watts(),
         }
     })
-    .collect()
 }
 
 /// Chiller-setpoint sweep: junction and chiller electrical power versus
 /// supply-water temperature (the warm-water-cooling trade).
 #[must_use]
 pub fn setpoint_rows() -> Vec<(f64, f64, f64, f64)> {
-    [10.0, 14.0, 18.0, 20.0, 24.0, 28.0, 32.0]
-        .into_iter()
-        .map(|setpoint| {
+    rcs_parallel::par_map(
+        vec![10.0, 14.0, 18.0, 20.0, 24.0, 28.0, 32.0],
+        |_, setpoint| {
             let mut bath = ImmersionBath::skat_default();
             // COP improves as the lift shrinks: ~0.25/K around 4.5 at 20 °C
             let cop = f64::max(4.5 + 0.25 * (setpoint - 20.0), 1.5);
@@ -83,33 +85,30 @@ pub fn setpoint_rows() -> Vec<(f64, f64, f64, f64)> {
                 report.coolant_hot.degrees(),
                 report.chiller_power.watts(),
             )
-        })
-        .collect()
+        },
+    )
 }
 
 /// Pump-sizing sweep: junction temperature and pump power versus pump
 /// shutoff head (flow follows the curve intersection).
 #[must_use]
 pub fn pump_rows() -> Vec<(f64, f64, f64, f64)> {
-    [30.0, 50.0, 80.0, 120.0, 160.0]
-        .into_iter()
-        .map(|shutoff_kpa| {
-            let mut bath = ImmersionBath::skat_default();
-            bath.pump = PumpCurve::new(
-                Pressure::kilopascals(shutoff_kpa),
-                VolumeFlow::liters_per_minute(900.0),
-            );
-            let report = ImmersionModel::new(presets::skat(), bath)
-                .solve()
-                .expect("converges");
-            (
-                shutoff_kpa,
-                report.coolant_flow.as_liters_per_minute(),
-                report.junction.degrees(),
-                report.circulation_power.watts(),
-            )
-        })
-        .collect()
+    rcs_parallel::par_map(vec![30.0, 50.0, 80.0, 120.0, 160.0], |_, shutoff_kpa| {
+        let mut bath = ImmersionBath::skat_default();
+        bath.pump = PumpCurve::new(
+            Pressure::kilopascals(shutoff_kpa),
+            VolumeFlow::liters_per_minute(900.0),
+        );
+        let report = ImmersionModel::new(presets::skat(), bath)
+            .solve()
+            .expect("converges");
+        (
+            shutoff_kpa,
+            report.coolant_flow.as_liters_per_minute(),
+            report.junction.degrees(),
+            report.circulation_power.watts(),
+        )
+    })
 }
 
 /// Renders the ablation tables.

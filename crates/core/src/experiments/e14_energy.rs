@@ -233,7 +233,7 @@ mod tests {
     fn annual_energy_is_consistent_with_power() {
         for r in rows() {
             let total_kw = (r.it_w + r.circulation_w + r.chiller_w) / 1e3;
-            let expected_mwh = total_kw * 8766.0 / 1e3;
+            let expected_mwh = total_kw * rcs_units::HOURS_PER_YEAR / 1e3;
             assert!(
                 (r.annual_mwh - expected_mwh).abs() / expected_mwh < 0.01,
                 "{r:?}"

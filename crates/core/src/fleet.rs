@@ -19,14 +19,14 @@ use rcs_devices::reliability;
 use rcs_fluids::Coolant;
 use rcs_platform::presets;
 use rcs_thermal::{TimAging, TimMaterial};
-use rcs_units::Celsius;
+use rcs_units::{Celsius, HOURS_PER_YEAR};
 
 use crate::coldplate::ColdPlateModel;
 use crate::error::CoreError;
 use crate::immersion::ImmersionModel;
 
 /// Hours in one simulated month.
-const HOURS_PER_MONTH: f64 = 8766.0 / 12.0;
+const HOURS_PER_MONTH: f64 = HOURS_PER_YEAR / 12.0;
 
 /// The material/architecture configurations the fleet simulator compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -250,7 +250,7 @@ impl FleetSimulation {
             }
         }
 
-        let possible_module_hours = n * self.years * 8766.0;
+        let possible_module_hours = n * self.years * HOURS_PER_YEAR;
         let availability = 1.0 - (lost_module_hours / possible_module_hours).min(1.0);
         Ok(FleetOutcome {
             config,
@@ -266,19 +266,71 @@ impl FleetSimulation {
         })
     }
 
-    /// Runs all three configurations.
+    /// Runs all three configurations, in parallel on the default worker
+    /// count.
+    ///
+    /// Each configuration's `run` already draws from its own
+    /// seed-derived streams, so the configs are independent work items;
+    /// results come back in the fixed `ImmersionDesigned`,
+    /// `ImmersionCommodity`, `ColdPlates` order and are bit-identical to
+    /// running the three serially.
     ///
     /// # Errors
     ///
     /// Propagates coupled-solver failures.
     pub fn run_all(&self) -> Result<Vec<FleetOutcome>, CoreError> {
-        [
+        self.run_all_with_threads(rcs_parallel::thread_count())
+    }
+
+    /// [`FleetSimulation::run_all`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupled-solver failures.
+    pub fn run_all_with_threads(&self, threads: usize) -> Result<Vec<FleetOutcome>, CoreError> {
+        let configs = vec![
             FleetConfig::ImmersionDesigned,
             FleetConfig::ImmersionCommodity,
             FleetConfig::ColdPlates,
-        ]
+        ];
+        rcs_parallel::par_map_indexed(configs, threads, |_, c| self.run(c))
+            .into_iter()
+            .collect()
+    }
+
+    /// Runs one configuration across many seeds in parallel — the
+    /// service-life *distribution* rather than one history.
+    ///
+    /// Every seed is an independent work item (its own stream family via
+    /// `seed.wrapping_add(..)`), results are returned in `seeds` order,
+    /// and the outcome vector is bit-identical at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupled-solver failures.
+    pub fn sweep_seeds(
+        &self,
+        config: FleetConfig,
+        seeds: &[u64],
+    ) -> Result<Vec<FleetOutcome>, CoreError> {
+        self.sweep_seeds_with_threads(config, seeds, rcs_parallel::thread_count())
+    }
+
+    /// [`FleetSimulation::sweep_seeds`] with an explicit worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupled-solver failures.
+    pub fn sweep_seeds_with_threads(
+        &self,
+        config: FleetConfig,
+        seeds: &[u64],
+        threads: usize,
+    ) -> Result<Vec<FleetOutcome>, CoreError> {
+        rcs_parallel::par_map_indexed(seeds.to_vec(), threads, |_, seed| {
+            Self::new(self.modules, self.years, seed).run(config)
+        })
         .into_iter()
-        .map(|c| self.run(c))
         .collect()
     }
 }
@@ -359,6 +411,44 @@ mod tests {
             "{} chip failures",
             outcome.chip_failures
         );
+    }
+
+    #[test]
+    fn run_all_is_identical_at_every_thread_count() {
+        let serial = fleet().run_all_with_threads(1).unwrap();
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                serial,
+                fleet().run_all_with_threads(threads).unwrap(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_sweep_is_ordered_and_thread_count_invariant() {
+        let sim = FleetSimulation::new(4, 2.0, 0);
+        let seeds = [11u64, 7, 42, 7, 99];
+        let serial = sim
+            .sweep_seeds_with_threads(FleetConfig::ColdPlates, &seeds, 1)
+            .unwrap();
+        // results follow seeds order, and equal seeds give equal outcomes
+        assert_eq!(serial.len(), seeds.len());
+        assert_eq!(serial[1], serial[3]);
+        assert_eq!(
+            serial[0],
+            FleetSimulation::new(4, 2.0, 11)
+                .run(FleetConfig::ColdPlates)
+                .unwrap()
+        );
+        for threads in [2, 4, 7] {
+            assert_eq!(
+                serial,
+                sim.sweep_seeds_with_threads(FleetConfig::ColdPlates, &seeds, threads)
+                    .unwrap(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,16 @@ impl HydraulicNetwork {
             .collect();
         let mut pressures = vec![0.0; n_junctions];
 
+        // Isolation comes from branch incidence, not from scanning the
+        // assembled matrix for exact float zeros: a junction is isolated
+        // iff no open branch touches it (branch openness is fixed for
+        // the whole solve, so this is computed once).
+        let mut touched = vec![false; n_junctions];
+        for b in self.branches.iter().filter(|b| b.open) {
+            touched[b.from.0] = true;
+            touched[b.to.0] = true;
+        }
+
         let mut last_residual = f64::INFINITY;
         for iter in 0..MAX_ITER {
             // Linearize each open branch: dp(Q) ~ h + h' (Qnew - Q).
@@ -87,14 +97,12 @@ impl HydraulicNetwork {
                         }
                     }
                 }
-                // Junctions with no open branch would produce a zero row;
-                // pin them to the reference pressure.
+                // Isolated junctions would produce a zero row; pin them
+                // to the reference pressure instead.
                 for (row, &j) in unknowns.iter().enumerate() {
-                    let isolated = (0..n).all(|c| a[(row, c)] == 0.0);
-                    if isolated {
+                    if !touched[j] {
                         a[(row, row)] = 1.0;
                         rhs[row] = 0.0;
-                        let _ = j;
                     }
                 }
 
@@ -288,6 +296,46 @@ mod tests {
         assert!(
             throttled.flow(b2).cubic_meters_per_second() > open.flow(b2).cubic_meters_per_second()
         );
+    }
+
+    #[test]
+    fn isolated_junction_is_pinned_to_reference_pressure() {
+        // A working pump loop plus a junction no branch touches at all:
+        // the solver must still converge, and the stranded node sits at
+        // the reference pressure with zero continuity residual.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let stranded = net.add_junction("stranded");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        assert_eq!(sol.pressure(stranded).pascals(), 0.0);
+        assert_eq!(
+            sol.continuity_residual(stranded).cubic_meters_per_second(),
+            0.0
+        );
+        // the live loop is unaffected by the stranded node
+        assert!(sol.flows()[0].as_liters_per_minute() > 50.0);
+    }
+
+    #[test]
+    fn junction_isolated_by_closed_branches_is_pinned() {
+        // Isolation must be judged on *open* incidence: a junction whose
+        // only branch is closed is just as stranded as one with none.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let spur_end = net.add_junction("spur end");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let spur = net
+            .add_branch("spur", b, spur_end, vec![pipe(5.0)])
+            .unwrap();
+        net.set_branch_open(spur, false).unwrap();
+        let sol = net.solve(&water()).unwrap();
+        assert_eq!(sol.pressure(spur_end).pascals(), 0.0);
+        assert_eq!(sol.flow(spur).cubic_meters_per_second(), 0.0);
     }
 
     #[test]

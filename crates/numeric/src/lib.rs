@@ -4,8 +4,10 @@
 //! dependencies: a dense row-major matrix with LU-style Gaussian
 //! elimination ([`Matrix::solve`]), a fixed-step fourth-order Runge-Kutta
 //! integrator ([`ode::rk4`]), bracketing/Newton root finders
-//! ([`root`]), and a deterministic xoshiro256++ generator with the
-//! exponential/Poisson draws the Monte-Carlo studies need ([`rng`]).
+//! ([`root`]), a deterministic xoshiro256++ generator with the
+//! exponential/Poisson draws and the stream-splitting jumps the
+//! Monte-Carlo studies need ([`rng`]), and the shared order statistics
+//! they report ([`stats`]).
 //!
 //! These kernels are sized for the problems in this workspace — thermal
 //! networks of a few hundred nodes and hydraulic networks of a few dozen
@@ -31,5 +33,6 @@ mod matrix;
 pub mod ode;
 pub mod rng;
 pub mod root;
+pub mod stats;
 
 pub use matrix::{Matrix, NumericError};

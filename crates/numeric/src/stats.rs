@@ -1,0 +1,94 @@
+//! Small order-statistics helpers shared by the Monte-Carlo studies.
+//!
+//! The only consumer-visible function today is [`percentile`], the
+//! nearest-rank percentile used for the availability reports' tail
+//! statistics. It lives here (not in the cooling crate) so that every
+//! simulator quoting a "p05" computes it the same way.
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+///
+/// Returns the smallest element such that at least `p * n` of the sample
+/// is ≤ it: rank `ceil(p * n)` clamped into `[1, n]` (so `p = 0` yields
+/// the minimum and `p = 1` the maximum). Nearest-rank always returns an
+/// actual sample value and never interpolates, which keeps seeded
+/// Monte-Carlo outputs exactly reproducible.
+///
+/// Truncating the rank instead of taking the ceiling — the bug this
+/// helper replaced — reports the *minimum* as "p05" for any sample
+/// smaller than 20.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`. Debug builds
+/// additionally assert that the slice is sorted.
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "percentile {p} outside [0, 1]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile input must be sorted ascending"
+    );
+    let n = sorted.len();
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sorted sample 1.0, 2.0, ..., n.
+    fn ramp(n: usize) -> Vec<f64> {
+        (1..=n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn p05_at_the_issue_regression_sizes() {
+        // trials = 10: ceil(0.5) = rank 1 → the minimum is genuinely the
+        // 5th-percentile element for so small a sample.
+        assert_eq!(percentile(&ramp(10), 0.05), 1.0);
+        // trials = 19: ceil(0.95) = rank 1 as well.
+        assert_eq!(percentile(&ramp(19), 0.05), 1.0);
+        // trials = 20: ceil(1.0) = rank 1 — the old truncating code
+        // agreed here by accident; the boundary the bug flipped is
+        // trials = 21, where rank must become 2.
+        assert_eq!(percentile(&ramp(20), 0.05), 1.0);
+        assert_eq!(percentile(&ramp(21), 0.05), 2.0);
+        // trials = 2000: ceil(100.0) = rank 100.
+        assert_eq!(percentile(&ramp(2000), 0.05), 100.0);
+    }
+
+    #[test]
+    fn extremes_are_min_and_max() {
+        let s = ramp(7);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 1.0), 7.0);
+    }
+
+    #[test]
+    fn median_of_odd_sample_is_the_middle_element() {
+        assert_eq!(percentile(&ramp(5), 0.5), 3.0);
+        assert_eq!(percentile(&ramp(4), 0.5), 2.0);
+    }
+
+    #[test]
+    fn single_element_sample_returns_it_for_any_p() {
+        for p in [0.0, 0.05, 0.5, 0.95, 1.0] {
+            assert_eq!(percentile(&[3.25], p), 3.25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_p_panics() {
+        let _ = percentile(&[1.0], 1.5);
+    }
+}

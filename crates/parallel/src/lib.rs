@@ -1,0 +1,283 @@
+//! Deterministic parallel execution for the `rcs-sim` workspace.
+//!
+//! Every quantitative figure in this reproduction is a pure function of
+//! a `u64` seed, and the determinism contract (see `DESIGN.md`) says it
+//! must stay one at **any** thread count. This crate supplies the
+//! execution half of that contract with nothing but `std`:
+//!
+//! - [`par_map_indexed`] — a scoped thread pool (`std::thread::scope`
+//!   workers pulling from a channel work queue) whose results are always
+//!   collected in **input order**, so a parallel map is observably
+//!   identical to the serial `iter().map()` no matter how the items were
+//!   scheduled;
+//! - [`fixed_chunks`] — the fixed-size chunk partition the Monte-Carlo
+//!   loops use. Chunk boundaries depend only on the workload size, never
+//!   on the thread count, so the chunk → RNG-stream mapping (one
+//!   [`jump`]ed stream per chunk) is pinned by the seed alone;
+//! - [`thread_count`] — worker-count resolution: the `RCS_THREADS`
+//!   environment variable when set, otherwise the machine's available
+//!   parallelism.
+//!
+//! The pool is deliberately not work-stealing and not persistent: sweeps
+//! in this workspace are dozens-to-thousands of coarse items, where a
+//! one-shot scoped pool costs microseconds and keeps every closure
+//! borrow-checked against the caller's stack (no `'static` bounds, no
+//! `Arc`).
+//!
+//! [`jump`]: https://prng.di.unimi.it/
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = rcs_parallel::par_map_indexed(vec![1u64, 2, 3, 4], 2, |i, x| (i, x * x));
+//! assert_eq!(squares, vec![(0, 1), (1, 4), (2, 9), (3, 16)]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Environment variable overriding the worker count (`thread_count`).
+pub const THREADS_ENV: &str = "RCS_THREADS";
+
+/// Resolves the worker count for parallel sweeps.
+///
+/// Honours `RCS_THREADS` when it parses as a positive integer (the CI
+/// matrix pins it to 1 and 4 so both the serial and the pooled path are
+/// exercised on every push); otherwise falls back to
+/// [`std::thread::available_parallelism`], and to 1 if even that is
+/// unavailable. Results never depend on this value — only wall-clock
+/// time does.
+#[must_use]
+pub fn thread_count() -> usize {
+    parse_threads(std::env::var(THREADS_ENV).ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    })
+}
+
+/// Parses an `RCS_THREADS`-style override; `None` means "not set or
+/// invalid, use the machine default".
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Partitions `0..total` into fixed-size chunks of `chunk_size` (the
+/// last chunk may be shorter).
+///
+/// The partition depends only on `total` and `chunk_size` — never on the
+/// thread count — which is what lets a chunked Monte-Carlo assign RNG
+/// stream `i` to chunk `i` and stay bit-identical from 1 thread to N.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero.
+#[must_use]
+pub fn fixed_chunks(total: usize, chunk_size: usize) -> Vec<Range<usize>> {
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    (0..total)
+        .step_by(chunk_size)
+        .map(|start| start..(start + chunk_size).min(total))
+        .collect()
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// results in **input order**.
+///
+/// `f` receives each item's index alongside the item, so stages can
+/// label work (e.g. pick RNG stream `i`) without threading state through
+/// the closure. With `threads <= 1` (or fewer than two items) the map
+/// runs inline on the caller's thread — that path is the reference the
+/// pooled path is tested to be bit-identical against.
+///
+/// Work distribution is a channel work queue: items are enqueued once,
+/// workers pull the next `(index, item)` whenever they finish one, and
+/// every result is slotted back by index. Scheduling order therefore
+/// affects only timing, never the returned `Vec`.
+///
+/// # Panics
+///
+/// Panics if any invocation of `f` panics (the panic is propagated once
+/// all workers have stopped).
+pub fn par_map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+
+    let workers = threads.min(n);
+    // Work queue: pre-filled, sender dropped, so `recv` drains the queue
+    // and then reports disconnection — no sentinel values needed.
+    let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("receiver alive while enqueueing");
+    }
+    drop(work_tx);
+    let work_rx = Mutex::new(work_rx);
+
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let result_tx = result_tx.clone();
+            let work_rx = &work_rx;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    // Hold the lock only while pulling the next item, not
+                    // while computing on it.
+                    let next = work_rx.lock().expect("work queue poisoned").recv();
+                    let Ok((index, item)) = next else { break };
+                    let result = f(index, item);
+                    if result_tx.send((index, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        for (index, result) in result_rx {
+            slots[index] = Some(result);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|r| r.expect("every index produced exactly one result"))
+        .collect()
+}
+
+/// Maps `f` over `items` with the default worker count
+/// ([`thread_count`]), in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_indexed(items, thread_count(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order_at_every_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7, 128] {
+            let got = par_map_indexed(items.clone(), threads, |i, x| {
+                assert_eq!(i, x, "index must match the item's input position");
+                x * x
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let results = par_map_indexed((0..1000).collect::<Vec<usize>>(), 8, |_, x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+        assert_eq!(results, (0..1000).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn borrows_caller_state_without_arc() {
+        let offsets = [10usize, 20, 30];
+        let got = par_map_indexed(vec![1usize, 2, 3], 3, |i, x| offsets[i] + x);
+        assert_eq!(got, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map_indexed(empty, 4, |_, x: u8| x).is_empty());
+        assert_eq!(par_map_indexed(vec![9u8], 4, |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(
+            par_map_indexed(vec![1, 2], 64, |_, x: u64| x + 1),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn nested_maps_compose() {
+        // An outer sweep whose stages are themselves parallel — the shape
+        // the experiment harness uses (architectures × MC chunks).
+        let got = par_map_indexed(vec![3usize, 4, 5], 2, |_, n| {
+            par_map_indexed((0..n).collect::<Vec<usize>>(), 2, |_, x| x)
+                .into_iter()
+                .sum::<usize>()
+        });
+        assert_eq!(got, vec![3, 6, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map_indexed(vec![0usize, 1, 2, 3], 2, |_, x| {
+            assert!(x != 2, "worker boom");
+            x
+        });
+    }
+
+    #[test]
+    fn fixed_chunks_cover_the_range_without_overlap() {
+        for (total, chunk) in [(0usize, 5usize), (1, 5), (5, 5), (6, 5), (257, 64)] {
+            let chunks = fixed_chunks(total, chunk);
+            let mut covered = 0;
+            for (i, r) in chunks.iter().enumerate() {
+                assert_eq!(
+                    r.start, covered,
+                    "chunk {i} must start where {total}/{chunk} left off"
+                );
+                assert!(r.len() <= chunk);
+                covered = r.end;
+            }
+            assert_eq!(covered, total);
+            // all but the last chunk are full-size
+            for r in chunks.iter().rev().skip(1) {
+                assert_eq!(r.len(), chunk);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_panics() {
+        let _ = fixed_chunks(10, 0);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-3")), None);
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 16 ")), Some(16));
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert!(thread_count() >= 1);
+    }
+}

@@ -45,6 +45,14 @@ pub use properties::{
 };
 pub use temperature::{Celsius, Kelvin, TempDelta};
 
+/// Hours in one mean year (365.25 days × 24 h).
+///
+/// Every annualized quantity in the workspace — availability horizons,
+/// failure rates per module-year, annual energy — converts through this
+/// single constant so that "a year" can never silently mean 8760 h in
+/// one crate and 8766 h in another.
+pub const HOURS_PER_YEAR: f64 = 8766.0;
+
 /// Convenience alias for a dimensionless ratio in `[0, 1]`.
 ///
 /// Used for efficiencies, utilizations and effectiveness values. A plain
