@@ -45,6 +45,32 @@ pub enum Action {
     SwitchToStandbyPump,
 }
 
+impl Action {
+    /// Severity rank for comparing recommended actions: `None` < top-up
+    /// < throttle < standby pump < shutdown. Strictly worse plant states
+    /// must never map to a lower rank.
+    #[must_use]
+    pub fn severity_rank(self) -> u8 {
+        match self {
+            Self::None => 0,
+            Self::ScheduleCoolantTopUp => 1,
+            Self::ThrottleLoad => 2,
+            Self::SwitchToStandbyPump => 3,
+            Self::EmergencyShutdown => 4,
+        }
+    }
+}
+
+/// The most severe of a set of recommended actions (by
+/// [`Action::severity_rank`]); [`Action::None`] for an empty set.
+#[must_use]
+pub fn worst_action(actions: impl IntoIterator<Item = Action>) -> Action {
+    actions
+        .into_iter()
+        .max_by_key(|a| a.severity_rank())
+        .unwrap_or(Action::None)
+}
+
 /// One raised alarm.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Alarm {
@@ -96,6 +122,20 @@ impl Default for ControlSubsystem {
 }
 
 impl ControlSubsystem {
+    /// Thresholds for the SKAT+ design point (§4): the hotter
+    /// UltraScale+ parts run their agent near 31 °C and their junctions
+    /// near 55.5 °C *by design*, so the warning setpoints move up while
+    /// the hard critical limits (40 °C agent, 67.5 °C reliability
+    /// ceiling) stay exactly where the paper puts them.
+    #[must_use]
+    pub fn skat_plus() -> Self {
+        Self {
+            agent_setpoint: Celsius::new(33.0),
+            component_setpoint: Celsius::new(58.0),
+            ..Self::default()
+        }
+    }
+
     /// Evaluates one scan, returning all raised alarms (empty when
     /// healthy), most severe first.
     #[must_use]

@@ -14,6 +14,10 @@
 //!   immersed pumps.
 //! - [`control`] — the §2 control subsystem: level/flow/temperature
 //!   sensors, setpoints and alarms.
+//! - [`faults`] — scripted fault timelines (pump seizure, fouling,
+//!   leaks, lying sensors) resolved into degraded-mode physics hooks.
+//! - [`plausibility`] — per-channel sensor sanity filters and redundant
+//!   median voting, so supervision survives faulty sensors.
 //! - [`pumps`] — the §2 pump selection criteria (IP-55, NPSH, vibration,
 //!   oil compatibility, continuous duty) as a scoring model.
 //! - [`risk`] / [`availability`] — failure classes per architecture and a
@@ -40,7 +44,9 @@
 pub mod availability;
 pub mod control;
 mod designs;
+pub mod faults;
 pub mod maintenance;
+pub mod plausibility;
 pub mod pumps;
 pub mod risk;
 

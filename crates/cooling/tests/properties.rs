@@ -1,6 +1,6 @@
 //! Property-based tests for the cooling-system models.
 
-use rcs_cooling::control::{ControlSubsystem, Readings, Severity};
+use rcs_cooling::control::{worst_action, ControlSubsystem, Readings, Severity};
 use rcs_cooling::maintenance::{summarize, PlumbingTopology};
 use rcs_cooling::risk::{Consequence, FailureClass};
 use rcs_cooling::{availability, ColdPlateLoop, CoolingArchitecture, ImmersionBath};
@@ -92,6 +92,41 @@ fn alarms_monotone_in_component_temperature() {
                 .unwrap_or(0)
         };
         assert!(sev(&worse) >= sev(&base));
+    });
+}
+
+/// Strictly worsening a scan — draining coolant, starving the flow,
+/// heating the agent and the components, any subset at once — must
+/// never weaken the recommended action. A supervisor that asks for
+/// *less* when the plant gets *worse* is wrong by construction.
+#[test]
+fn worse_readings_never_weaken_the_action() {
+    check_cases("worse_readings_never_weaken_the_action", 64, |g| {
+        let ctl = ControlSubsystem::default();
+        let base = Readings {
+            coolant_level: g.draw(0.5..1.05f64),
+            coolant_flow: VolumeFlow::liters_per_minute(g.draw(0.0..600.0f64)),
+            coolant_temperature: Celsius::new(g.draw(20.0..45.0f64)),
+            component_temperature: Celsius::new(g.draw(40.0..75.0f64)),
+        };
+        // worsen each channel independently (possibly by zero)
+        let worse = Readings {
+            coolant_level: base.coolant_level - g.draw(0.0..0.4f64),
+            coolant_flow: VolumeFlow::liters_per_minute(
+                (base.coolant_flow.as_liters_per_minute() - g.draw(0.0..400.0f64)).max(0.0),
+            ),
+            coolant_temperature: base.coolant_temperature
+                + rcs_units::TempDelta::from_kelvins(g.draw(0.0..10.0f64)),
+            component_temperature: base.component_temperature
+                + rcs_units::TempDelta::from_kelvins(g.draw(0.0..15.0f64)),
+        };
+        let act = |r: &Readings| worst_action(ctl.evaluate(r).iter().map(|a| a.action));
+        assert!(
+            act(&worse).severity_rank() >= act(&base).severity_rank(),
+            "worse scan {worse:?} produced {:?}, base scan {base:?} produced {:?}",
+            act(&worse),
+            act(&base)
+        );
     });
 }
 

@@ -109,7 +109,7 @@ impl AirCooledModel {
             if tj.degrees() > RUNAWAY_LIMIT_C {
                 return Err(CoreError::NoConvergence {
                     iterations,
-                    residual_k: step.abs(),
+                    residual_k: Some(step.abs()),
                 });
             }
             if step.abs() < 1e-6 {

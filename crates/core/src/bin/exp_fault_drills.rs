@@ -1,0 +1,7 @@
+//! Prints the E17 fault-drill tables (see DESIGN.md).
+
+fn main() {
+    for table in rcs_core::experiments::e17_fault_drills::run() {
+        print!("{table}");
+    }
+}

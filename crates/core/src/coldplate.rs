@@ -88,6 +88,7 @@ impl ColdPlateModel {
         let mut iterations = 0;
         let mut converged = false;
         let mut ret = self.loop_.supply;
+        let mut last_step = None;
         for iter in 0..200 {
             iterations = iter + 1;
             let chip_p = model.power(self.op, tj);
@@ -96,6 +97,7 @@ impl ColdPlateModel {
             // the last chip on a plate loop sees the warmest water
             let next = ret + chip_p * r_chip;
             let step = (next - tj).kelvins();
+            last_step = Some(step.abs());
             tj += TempDelta::from_kelvins(0.6 * step);
             if step.abs() < 1e-7 {
                 converged = true;
@@ -105,7 +107,7 @@ impl ColdPlateModel {
         if !converged {
             return Err(CoreError::NoConvergence {
                 iterations,
-                residual_k: f64::NAN,
+                residual_k: last_step,
             });
         }
 

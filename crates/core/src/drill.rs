@@ -1,0 +1,742 @@
+//! Fault drills: the coupled transient model driven through scripted
+//! fault timelines under a sensor-fault-tolerant supervisor.
+//!
+//! A [`FaultDrill`] marries three robustness layers built below:
+//!
+//! 1. **Degraded-mode physics** — a [`FaultTimeline`] resolved every scan
+//!    into a `DegradedState` that derates pump curves, fouls the
+//!    exchanger, offsets/derates the chiller, drains the bath and jams
+//!    valves; the coupled steady solver (through its retry ladder)
+//!    relinearizes the two-node bath transient around the degraded plant.
+//! 2. **Sensor plausibility** — the [`HardenedSupervisor`] runs the §2
+//!    control subsystem on *filtered* channels: range and rate checks,
+//!    last-good hold with timeout, and median voting across redundant
+//!    component-temperature probes, so lying sensors neither raise false
+//!    alarms nor mask real excursions.
+//! 3. **Protective margin** — the supervisor trips its emergency stop a
+//!    few kelvin below the hardware reliability ceiling, so shutdown
+//!    always lands *before* a true hardware-limit violation.
+//!
+//! [`FaultTimeline`]: rcs_cooling::faults::FaultTimeline
+
+use rcs_cooling::control::{self, Action, Alarm, ControlSubsystem, Readings};
+use rcs_cooling::faults::{DegradedState, FaultTimeline, SensorChannel};
+use rcs_cooling::plausibility::{median_vote, ChannelLimits, ChannelStatus, PlausibilityFilter};
+use rcs_cooling::ImmersionBath;
+use rcs_devices::OperatingPoint;
+use rcs_numeric::rng::Rng;
+use rcs_platform::ComputeModule;
+use rcs_units::{Celsius, Power, Seconds, VolumeFlow};
+
+use crate::error::CoreError;
+use crate::immersion::ImmersionModel;
+
+/// Sensor scan interval.
+pub const SCAN_DT: Seconds = Seconds::new(2.0);
+
+/// Steps between checks for plant relinearization (the steady solver is
+/// re-run only when the degraded physics actually changed).
+const RELINEARIZE_EVERY: usize = 5;
+
+/// Redundant component-temperature probes per module.
+pub const COMPONENT_PROBES: usize = 3;
+
+/// Protective margin below the hardware reliability ceiling at which the
+/// hardened supervisor trips its emergency stop. Sized for the
+/// worst-case heating rate in the drill set (a fully stagnant bath heats
+/// the chip field at ~0.6 K/s, ~1.2 K per scan).
+pub const SHUTDOWN_MARGIN_K: f64 = 3.5;
+
+/// Stagnation penalty on the chip-to-bath resistance when circulation is
+/// lost entirely (natural convection instead of forced turbulator flow).
+const STAGNANT_SINK_FACTOR: f64 = 5.0;
+
+/// Residual bath-to-water conductance path with no circulation: natural
+/// convection through the heat-exchange section plus wall conduction.
+const STAGNANT_HX_RESISTANCE_K_PER_W: f64 = 0.02;
+
+/// Per-chip thermal capacitance (die + sink + local board mass), J/K.
+const CHIP_FIELD_CAPACITANCE_PER_CHIP: f64 = 150.0;
+
+/// Nominal bath oil volume, m³.
+const BATH_VOLUME_M3: f64 = 0.060;
+
+/// Utilization floor the throttle policy will not go below.
+const UTILIZATION_FLOOR: f64 = 0.20;
+
+/// Throttle step per scan on a `ThrottleLoad` recommendation.
+const THROTTLE_STEP: f64 = 0.05;
+
+/// The raw (possibly lying) sensor samples delivered in one scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawScan {
+    /// Level transmitter (fraction of nominal fill), `None` on dropout.
+    pub level: Option<f64>,
+    /// Flow transmitter (L/min), `None` on dropout.
+    pub flow_lpm: Option<f64>,
+    /// Agent temperature transmitter (°C), `None` on dropout.
+    pub agent_c: Option<f64>,
+    /// Redundant component-temperature probes (°C).
+    pub component_c: [Option<f64>; COMPONENT_PROBES],
+}
+
+/// Worst health seen per channel across a drill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelHealth {
+    /// Level channel.
+    pub level: ChannelStatus,
+    /// Flow channel.
+    pub flow: ChannelStatus,
+    /// Agent-temperature channel.
+    pub agent: ChannelStatus,
+    /// Component-temperature probes.
+    pub component: [ChannelStatus; COMPONENT_PROBES],
+}
+
+impl ChannelHealth {
+    fn all_valid() -> Self {
+        Self {
+            level: ChannelStatus::Valid,
+            flow: ChannelStatus::Valid,
+            agent: ChannelStatus::Valid,
+            component: [ChannelStatus::Valid; COMPONENT_PROBES],
+        }
+    }
+
+    /// `true` when every channel stayed `Valid` for the whole drill.
+    #[must_use]
+    pub fn is_all_valid(&self) -> bool {
+        self.level == ChannelStatus::Valid
+            && self.flow == ChannelStatus::Valid
+            && self.agent == ChannelStatus::Valid
+            && self.component.iter().all(|s| *s == ChannelStatus::Valid)
+    }
+
+    /// Channels that ended the drill declared `Failed`.
+    #[must_use]
+    pub fn failed_channels(&self) -> Vec<&'static str> {
+        let mut failed = Vec::new();
+        if self.level == ChannelStatus::Failed {
+            failed.push("level");
+        }
+        if self.flow == ChannelStatus::Failed {
+            failed.push("flow");
+        }
+        if self.agent == ChannelStatus::Failed {
+            failed.push("agent temperature");
+        }
+        if self.component.contains(&ChannelStatus::Failed) {
+            failed.push("component probe");
+        }
+        failed
+    }
+}
+
+fn worse(a: ChannelStatus, b: ChannelStatus) -> ChannelStatus {
+    let rank = |s: ChannelStatus| match s {
+        ChannelStatus::Valid => 0,
+        ChannelStatus::Held => 1,
+        ChannelStatus::Failed => 2,
+    };
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
+}
+
+/// The §2 control subsystem hardened against lying sensors: every
+/// channel passes a plausibility filter before the threshold logic, the
+/// redundant component probes are median-voted, and the emergency stop
+/// fires [`SHUTDOWN_MARGIN_K`] below the hardware ceiling.
+#[derive(Debug, Clone)]
+pub struct HardenedSupervisor {
+    /// Thresholds with the protective shutdown margin applied.
+    control: ControlSubsystem,
+    level: PlausibilityFilter,
+    flow: PlausibilityFilter,
+    agent: PlausibilityFilter,
+    component: [PlausibilityFilter; COMPONENT_PROBES],
+    worst_seen: ChannelHealth,
+}
+
+impl HardenedSupervisor {
+    /// Hardens a base control subsystem. The base `component_limit` is
+    /// the *hardware* ceiling; the hardened copy trips
+    /// [`SHUTDOWN_MARGIN_K`] earlier.
+    #[must_use]
+    pub fn new(base: ControlSubsystem) -> Self {
+        let mut control = base;
+        control.component_limit = Celsius::new(base.component_limit.degrees() - SHUTDOWN_MARGIN_K);
+        Self {
+            control,
+            level: PlausibilityFilter::new(ChannelLimits::coolant_level()),
+            flow: PlausibilityFilter::new(ChannelLimits::coolant_flow_lpm()),
+            agent: PlausibilityFilter::new(ChannelLimits::agent_temperature_c()),
+            component: core::array::from_fn(|_| {
+                PlausibilityFilter::new(ChannelLimits::component_temperature_c())
+            }),
+            worst_seen: ChannelHealth::all_valid(),
+        }
+    }
+
+    /// The worst status each channel reached so far.
+    #[must_use]
+    pub fn channel_health(&self) -> ChannelHealth {
+        self.worst_seen
+    }
+
+    /// Filters one raw scan and evaluates the control thresholds on the
+    /// plausible values. Returns the filtered readings the logic acted
+    /// on, the raised alarms, and the single recommended action (the
+    /// worst across alarms).
+    pub fn scan(&mut self, t: Seconds, raw: &RawScan) -> (Readings, Vec<Alarm>, Action) {
+        let level = self.level.accept(t, raw.level);
+        let flow = self.flow.accept(t, raw.flow_lpm);
+        let agent = self.agent.accept(t, raw.agent_c);
+        self.worst_seen.level = worse(self.worst_seen.level, level.status);
+        self.worst_seen.flow = worse(self.worst_seen.flow, flow.status);
+        self.worst_seen.agent = worse(self.worst_seen.agent, agent.status);
+
+        // Redundant probes: vote over the live (Valid) probes; a probe
+        // in hold still contributes its last good value only when no
+        // probe is live at all.
+        let mut live = [None; COMPONENT_PROBES];
+        let mut held = [None; COMPONENT_PROBES];
+        for (i, filter) in self.component.iter_mut().enumerate() {
+            let sample = filter.accept(t, raw.component_c[i]);
+            self.worst_seen.component[i] = worse(self.worst_seen.component[i], sample.status);
+            match sample.status {
+                ChannelStatus::Valid => live[i] = sample.value,
+                ChannelStatus::Held => held[i] = sample.value,
+                ChannelStatus::Failed => {}
+            }
+        }
+        let component_c = median_vote(&live).or_else(|| median_vote(&held));
+
+        // Channels with no plausible history fall back to alarm-neutral
+        // values: a silent channel is a maintenance item (reported via
+        // channel health), not a thermal excursion.
+        let readings = Readings {
+            coolant_level: level.value.unwrap_or(1.0),
+            coolant_flow: VolumeFlow::liters_per_minute(
+                flow.value
+                    .unwrap_or_else(|| self.control.min_flow.as_liters_per_minute()),
+            ),
+            coolant_temperature: Celsius::new(
+                agent
+                    .value
+                    .unwrap_or_else(|| self.control.agent_setpoint.degrees()),
+            ),
+            component_temperature: Celsius::new(
+                component_c.unwrap_or_else(|| self.control.component_setpoint.degrees()),
+            ),
+        };
+        let alarms = self.control.evaluate(&readings);
+        let action = control::worst_action(alarms.iter().map(|a| a.action));
+        (readings, alarms, action)
+    }
+}
+
+/// One scripted drill: a design, a fault timeline, and a duration.
+#[derive(Debug, Clone)]
+pub struct FaultDrill {
+    /// Drill name (also the E17 row label).
+    pub name: String,
+    /// The compute module under test.
+    pub module: ComputeModule,
+    /// The (healthy) bath; faults degrade clones of it.
+    pub bath: ImmersionBath,
+    /// Base control thresholds (the hardened supervisor derives its
+    /// margined copy; `component_limit` here is the hardware ceiling).
+    pub control: ControlSubsystem,
+    /// The scripted faults.
+    pub timeline: FaultTimeline,
+    /// Drill length.
+    pub duration: Seconds,
+    /// Demanded utilization.
+    pub demand_utilization: f64,
+}
+
+impl FaultDrill {
+    /// A drill over the SKAT design with its default control thresholds.
+    #[must_use]
+    pub fn skat(name: &str, timeline: FaultTimeline, duration: Seconds) -> Self {
+        Self {
+            name: name.to_owned(),
+            module: rcs_platform::presets::skat(),
+            bath: ImmersionBath::skat_default(),
+            control: ControlSubsystem::default(),
+            timeline,
+            duration,
+            demand_utilization: 0.90,
+        }
+    }
+
+    /// A drill over the SKAT+ design with its shifted warning setpoints
+    /// (hard limits unchanged).
+    #[must_use]
+    pub fn skat_plus(name: &str, timeline: FaultTimeline, duration: Seconds) -> Self {
+        Self {
+            name: name.to_owned(),
+            module: rcs_platform::presets::skat_plus(),
+            bath: ImmersionBath::skat_plus_default(),
+            control: ControlSubsystem::skat_plus(),
+            timeline,
+            duration,
+            demand_utilization: 0.90,
+        }
+    }
+
+    /// Runs the drill under the hardened supervisor.
+    ///
+    /// The RNG drives only small per-scan sensor measurement noise, so
+    /// two runs with equal-state RNGs are bit-identical.
+    #[must_use]
+    pub fn run(&self, rng: &mut Rng) -> DrillOutcome {
+        self.simulate(rng, true)
+    }
+
+    /// Runs the same physics with the supervisor disconnected (no
+    /// throttling, no shutdown) — the ground-truth trajectory used to
+    /// check that supervised shutdowns land before hardware violations.
+    #[must_use]
+    pub fn run_open_loop(&self, rng: &mut Rng) -> DrillOutcome {
+        self.simulate(rng, false)
+    }
+
+    fn simulate(&self, rng: &mut Rng, supervised: bool) -> DrillOutcome {
+        let hardware_limit = self.control.component_limit;
+        let mut outcome = DrillOutcome {
+            name: self.name.clone(),
+            design: self.module.name().to_owned(),
+            supervised,
+            time_to_alarm: None,
+            time_to_shutdown: None,
+            shut_down: false,
+            peak_junction: Celsius::new(f64::NEG_INFINITY),
+            peak_agent: Celsius::new(f64::NEG_INFINITY),
+            violation_steps: 0,
+            min_utilization: self.demand_utilization,
+            channel_health: ChannelHealth::all_valid(),
+            solver_failure: None,
+            steps: 0,
+        };
+
+        // Healthy baseline: initial temperatures and the stagnant-mode
+        // reference resistance.
+        let baseline = match ImmersionModel::new(self.module.clone(), self.bath.clone())
+            .with_operating_point(OperatingPoint::at_utilization(self.demand_utilization))
+            .solve_robust()
+        {
+            Ok(r) => r,
+            Err(e) => {
+                outcome.solver_failure = Some(e.to_string());
+                return outcome;
+            }
+        };
+        let chips = self.module.compute_fpga_count() as f64;
+        let c_chip = CHIP_FIELD_CAPACITANCE_PER_CHIP * chips;
+        let stack = ImmersionModel::new(self.module.clone(), self.bath.clone()).chip_stack();
+        let baseline_bulk =
+            Celsius::new(0.5 * (baseline.coolant_hot.degrees() + baseline.coolant_cold.degrees()));
+        let baseline_oil = self.bath.coolant.state(baseline_bulk);
+        let r_chip_baseline = stack
+            .total_resistance(&baseline_oil, baseline.sink_velocity)
+            .kelvin_per_watt();
+
+        let mut t_chip = baseline.junction.degrees();
+        let mut t_bath = baseline.coolant_hot.degrees();
+        let mut utilization = self.demand_utilization;
+        let mut powered = true;
+        let mut supervisor = HardenedSupervisor::new(self.control);
+
+        let steps = (self.duration.seconds() / SCAN_DT.seconds()).ceil() as usize;
+        let mut lin: Option<Linearization> = None;
+        let mut lin_key: Option<LinKey> = None;
+
+        for step in 0..steps {
+            let t = Seconds::new(step as f64 * SCAN_DT.seconds());
+            let state = self.timeline.state_at(t);
+
+            // Relinearize the plant around the degraded steady state
+            // whenever the degraded physics (or the allowed load)
+            // changed since the last linearization.
+            if step % RELINEARIZE_EVERY == 0 || lin.is_none() {
+                let key = LinKey::of(&state, utilization, powered);
+                if lin_key.as_ref() != Some(&key) {
+                    match self.linearize(&state, utilization, r_chip_baseline, chips) {
+                        Ok(l) => {
+                            lin = Some(l);
+                            lin_key = Some(key);
+                        }
+                        Err(e) => {
+                            outcome.solver_failure = Some(e.to_string());
+                            break;
+                        }
+                    }
+                }
+            }
+            let lin = lin.as_ref().expect("linearized above");
+
+            // --- sensor scan on the *current* true state -------------
+            let noise_level = rng.gen_range(-0.002..0.002);
+            let noise_flow = rng.gen_range(-0.5..0.5);
+            let noise_agent = rng.gen_range(-0.02..0.02);
+            let noise_component: [f64; COMPONENT_PROBES] =
+                core::array::from_fn(|_| rng.gen_range(-0.05..0.05));
+            let raw = RawScan {
+                level: state.sensed(
+                    SensorChannel::CoolantLevel,
+                    state.coolant_level + noise_level,
+                    t,
+                ),
+                flow_lpm: state.sensed(SensorChannel::CoolantFlow, lin.flow_lpm + noise_flow, t),
+                agent_c: state.sensed(SensorChannel::AgentTemperature, t_bath + noise_agent, t),
+                component_c: core::array::from_fn(|i| {
+                    state.sensed(
+                        SensorChannel::ComponentTemperature(i),
+                        t_chip + noise_component[i],
+                        t,
+                    )
+                }),
+            };
+
+            if supervised && powered {
+                let (_readings, alarms, action) = supervisor.scan(t, &raw);
+                if !alarms.is_empty() && outcome.time_to_alarm.is_none() {
+                    outcome.time_to_alarm = Some(t);
+                }
+                match action {
+                    Action::EmergencyShutdown => {
+                        powered = false;
+                        outcome.shut_down = true;
+                        outcome.time_to_shutdown = Some(t);
+                    }
+                    Action::ThrottleLoad => {
+                        utilization = (utilization - THROTTLE_STEP).max(UTILIZATION_FLOOR);
+                    }
+                    Action::None => {
+                        utilization = (utilization + THROTTLE_STEP).min(self.demand_utilization);
+                    }
+                    Action::ScheduleCoolantTopUp | Action::SwitchToStandbyPump => {}
+                }
+                outcome.min_utilization = outcome.min_utilization.min(utilization);
+            }
+
+            // --- integrate one scan interval -------------------------
+            let (p_field, p_other) = if powered {
+                let op = OperatingPoint::at_utilization(utilization);
+                let fpga = self.module.fpga_heat(op, Celsius::new(t_chip)).watts();
+                let total = self.module.total_heat(op, Celsius::new(t_chip)).watts();
+                (fpga, total - fpga + lin.pump_heat_w)
+            } else {
+                (0.0, lin.pump_heat_w)
+            };
+            let oil = self.bath.coolant.state(Celsius::new(t_bath));
+            let c_bath = BATH_VOLUME_M3
+                * state.coolant_level.max(0.05)
+                * oil.density.kg_per_cubic_meter()
+                * oil.specific_heat.joules_per_kg_kelvin();
+            let q_field = (t_chip - t_bath) / lin.r_field;
+            let q_hx = (t_bath - lin.supply_c) / lin.r_hx;
+            let dt = SCAN_DT.seconds();
+            t_chip += dt * (p_field - q_field) / c_chip;
+            t_bath += dt * (p_other + q_field - q_hx) / c_bath;
+
+            outcome.peak_junction = outcome.peak_junction.max(Celsius::new(t_chip));
+            outcome.peak_agent = outcome.peak_agent.max(Celsius::new(t_bath));
+            if t_chip > hardware_limit.degrees() {
+                outcome.violation_steps += 1;
+            }
+            outcome.steps = step + 1;
+        }
+
+        outcome.channel_health = supervisor.channel_health();
+        outcome
+    }
+
+    /// Solves the degraded steady state and extracts the two-node
+    /// transient coefficients around it. A bath with no circulation at
+    /// all (every pump seized or suction uncovered) gets the stagnation
+    /// model instead of a coupled solve — stagnation is a physical
+    /// state, not a solver failure.
+    fn linearize(
+        &self,
+        state: &DegradedState,
+        utilization: f64,
+        r_chip_baseline: f64,
+        chips: f64,
+    ) -> Result<Linearization, CoreError> {
+        let degraded_bath = state.apply_to(&self.bath);
+        let curves = state.pump_curves(&self.bath);
+
+        if curves.is_empty() {
+            // no circulation: natural convection at the sinks, residual
+            // conduction (plus any fouling) through the exchanger section
+            return Ok(Linearization {
+                flow_lpm: 0.0,
+                r_field: STAGNANT_SINK_FACTOR * r_chip_baseline / chips,
+                r_hx: STAGNANT_HX_RESISTANCE_K_PER_W + state.fouling_k_per_w,
+                supply_c: degraded_bath.chiller.setpoint().degrees(),
+                pump_heat_w: 0.0,
+            });
+        }
+
+        let mut model = ImmersionModel::new(self.module.clone(), degraded_bath.clone())
+            .with_operating_point(OperatingPoint::at_utilization(
+                utilization.max(UTILIZATION_FLOOR),
+            ))
+            .with_pump_curves(curves);
+        if state.valve_opening < 1.0 {
+            model = model.with_circulation_valve(state.valve_opening);
+        }
+        let steady = model.solve_robust()?;
+
+        let bulk =
+            Celsius::new(0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()));
+        let oil = self.bath.coolant.state(bulk);
+        let stack = model.chip_stack();
+        let r_field = stack
+            .total_resistance(&oil, steady.sink_velocity)
+            .kelvin_per_watt()
+            / chips;
+
+        let water = rcs_fluids::Coolant::water().state(degraded_bath.chiller.setpoint());
+        let c_oil = (steady.coolant_flow * oil.density) * oil.specific_heat;
+        let c_water = (degraded_bath.water_flow * water.density) * water.specific_heat;
+        let eps = degraded_bath.exchanger.effectiveness(c_oil, c_water);
+        let c_min = c_oil.watts_per_kelvin().min(c_water.watts_per_kelvin());
+        let r_hx = 1.0 / (eps * c_min).max(1e-9);
+
+        let pump_heat_w = if degraded_bath.immersed_pumps {
+            steady.circulation_power.watts()
+        } else {
+            steady.circulation_power.watts() * 0.45
+        };
+        let supply = degraded_bath
+            .chiller
+            .supply_temperature(steady.total_heat + Power::from_watts(pump_heat_w));
+
+        Ok(Linearization {
+            flow_lpm: steady.coolant_flow.as_liters_per_minute(),
+            r_field,
+            r_hx,
+            supply_c: supply.degrees(),
+            pump_heat_w,
+        })
+    }
+}
+
+/// Two-node transient coefficients extracted from a degraded steady
+/// solve (all raw f64, K/W and °C, for the inner Euler loop).
+#[derive(Debug, Clone)]
+struct Linearization {
+    flow_lpm: f64,
+    r_field: f64,
+    r_hx: f64,
+    supply_c: f64,
+    pump_heat_w: f64,
+}
+
+/// Cache key deciding whether the plant must be relinearized: the
+/// physics-affecting slice of the degraded state plus the allowed load.
+#[derive(Debug, Clone, PartialEq)]
+struct LinKey {
+    seized: Vec<usize>,
+    head_factor: f64,
+    air_factor: f64,
+    fouling: f64,
+    offset_k: f64,
+    capacity: f64,
+    valve: f64,
+    utilization: f64,
+    powered: bool,
+}
+
+impl LinKey {
+    fn of(state: &DegradedState, utilization: f64, powered: bool) -> Self {
+        Self {
+            seized: state.seized_pumps.clone(),
+            head_factor: state.pump_head_factor,
+            air_factor: state.air_entrainment_factor(),
+            fouling: state.fouling_k_per_w,
+            offset_k: state.chiller_setpoint_offset.kelvins(),
+            capacity: state.chiller_capacity_factor,
+            valve: state.valve_opening,
+            utilization,
+            powered,
+        }
+    }
+}
+
+/// What a drill produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DrillOutcome {
+    /// Drill name.
+    pub name: String,
+    /// Module/design name.
+    pub design: String,
+    /// `false` for the open-loop ground-truth run.
+    pub supervised: bool,
+    /// First scan at which any alarm was raised.
+    pub time_to_alarm: Option<Seconds>,
+    /// Scan at which the supervisor tripped the emergency stop.
+    pub time_to_shutdown: Option<Seconds>,
+    /// `true` if the supervisor shut the module down.
+    pub shut_down: bool,
+    /// Highest true junction temperature over the drill.
+    pub peak_junction: Celsius,
+    /// Highest true agent temperature over the drill.
+    pub peak_agent: Celsius,
+    /// Scans on which the true junction exceeded the hardware ceiling.
+    pub violation_steps: usize,
+    /// Lowest utilization the supervisor allowed.
+    pub min_utilization: f64,
+    /// Worst status each sensor channel reached.
+    pub channel_health: ChannelHealth,
+    /// Structured message if any solver rung ladder was exhausted
+    /// (`None` for every physical drill).
+    pub solver_failure: Option<String>,
+    /// Scans executed.
+    pub steps: usize,
+}
+
+impl DrillOutcome {
+    /// `true` if the drill finished with zero hardware-limit violations
+    /// and no solver failure.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.violation_steps == 0 && self.solver_failure.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcs_cooling::faults::{FaultKind, SensorFault};
+
+    fn rng() -> Rng {
+        Rng::seed_from_u64(7)
+    }
+
+    fn nominal_drill() -> FaultDrill {
+        FaultDrill::skat("nominal", FaultTimeline::new(), Seconds::minutes(10.0))
+    }
+
+    #[test]
+    fn nominal_drill_raises_nothing() {
+        let outcome = nominal_drill().run(&mut rng());
+        assert!(outcome.time_to_alarm.is_none(), "{outcome:?}");
+        assert!(!outcome.shut_down);
+        assert!(outcome.clean());
+        assert!(outcome.channel_health.is_all_valid());
+        assert!((outcome.min_utilization - 0.90).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_skat_plus_drill_raises_nothing() {
+        let drill = FaultDrill::skat_plus("nominal", FaultTimeline::new(), Seconds::minutes(10.0));
+        let outcome = drill.run(&mut rng());
+        assert!(outcome.time_to_alarm.is_none(), "{outcome:?}");
+        assert!(!outcome.shut_down);
+        assert!(outcome.clean());
+    }
+
+    #[test]
+    fn pump_seizure_shuts_down_before_the_hardware_limit() {
+        let timeline = FaultTimeline::new()
+            .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+        let drill = FaultDrill::skat("pump seizure", timeline, Seconds::minutes(20.0));
+
+        let open = drill.run_open_loop(&mut rng());
+        assert!(
+            open.violation_steps > 0,
+            "ground truth must cross the ceiling: {open:?}"
+        );
+
+        let supervised = drill.run(&mut rng());
+        assert!(supervised.shut_down);
+        assert_eq!(supervised.violation_steps, 0, "{supervised:?}");
+        assert!(supervised.peak_junction.degrees() < 67.5);
+        assert!(supervised.time_to_shutdown.unwrap() < open_first_violation(&drill));
+    }
+
+    fn open_first_violation(drill: &FaultDrill) -> Seconds {
+        // re-run open loop and find the first violation time by peak
+        // accounting: violations accumulate per scan, so the first
+        // violating scan index is steps - violation_steps
+        let open = drill.run_open_loop(&mut rng());
+        Seconds::new((open.steps - open.violation_steps) as f64 * SCAN_DT.seconds())
+    }
+
+    #[test]
+    fn lying_sensors_on_a_healthy_plant_stay_silent() {
+        let timeline = FaultTimeline::new()
+            .with_event(
+                Seconds::minutes(3.0),
+                FaultKind::SensorFault {
+                    channel: SensorChannel::AgentTemperature,
+                    fault: SensorFault::StuckAt(45.0), // would trip the 40 °C limit
+                },
+            )
+            .with_event(
+                Seconds::minutes(4.0),
+                FaultKind::SensorFault {
+                    channel: SensorChannel::ComponentTemperature(1),
+                    fault: SensorFault::Drift { rate_per_s: 0.2 },
+                },
+            )
+            .with_event(
+                Seconds::minutes(5.0),
+                FaultKind::SensorFault {
+                    channel: SensorChannel::CoolantFlow,
+                    fault: SensorFault::Dropout,
+                },
+            );
+        let drill = FaultDrill::skat("sensor storm", timeline, Seconds::minutes(12.0));
+        let outcome = drill.run(&mut rng());
+        assert!(outcome.time_to_alarm.is_none(), "{outcome:?}");
+        assert!(!outcome.shut_down);
+        // but the broken channels are reported for maintenance
+        assert!(!outcome.channel_health.is_all_valid());
+        assert!(!outcome.channel_health.failed_channels().is_empty());
+    }
+
+    #[test]
+    fn skat_plus_rides_through_a_single_pump_seizure() {
+        let timeline = FaultTimeline::new()
+            .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+        let drill = FaultDrill::skat_plus("single seizure", timeline, Seconds::minutes(15.0));
+        let outcome = drill.run(&mut rng());
+        assert!(!outcome.shut_down, "{outcome:?}");
+        assert!(outcome.clean());
+    }
+
+    #[test]
+    fn coolant_leak_trips_the_level_ladder() {
+        let timeline = FaultTimeline::new().with_event(
+            Seconds::minutes(1.0),
+            FaultKind::CoolantLeak {
+                level_per_hour: 1.2,
+            },
+        );
+        let drill = FaultDrill::skat("leak", timeline, Seconds::minutes(20.0));
+        let outcome = drill.run(&mut rng());
+        // warning (top-up) first, shutdown at the critical level
+        assert!(outcome.time_to_alarm.is_some());
+        assert!(outcome.shut_down);
+        assert!(outcome.time_to_alarm.unwrap() < outcome.time_to_shutdown.unwrap());
+        assert!(outcome.clean());
+    }
+
+    #[test]
+    fn drills_are_deterministic_for_equal_rngs() {
+        let timeline = FaultTimeline::new()
+            .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+        let drill = FaultDrill::skat("determinism", timeline, Seconds::minutes(8.0));
+        let a = drill.run(&mut Rng::seed_from_u64(123));
+        let b = drill.run(&mut Rng::seed_from_u64(123));
+        assert_eq!(a, b);
+    }
+}

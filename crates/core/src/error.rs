@@ -15,8 +15,10 @@ pub enum CoreError {
     NoConvergence {
         /// Iterations performed.
         iterations: usize,
-        /// Final junction-temperature change per iteration, K.
-        residual_k: f64,
+        /// Final junction-temperature change per iteration, K — `None`
+        /// when the iteration produced no usable residual (it previously
+        /// reported `NaN`, which poisoned downstream comparisons).
+        residual_k: Option<f64>,
     },
     /// A model was configured with an unphysical parameter.
     InvalidConfiguration {
@@ -30,10 +32,16 @@ impl core::fmt::Display for CoreError {
         match self {
             Self::Thermal(e) => write!(f, "thermal solve failed: {e}"),
             Self::Hydraulic(e) => write!(f, "hydraulic solve failed: {e}"),
-            Self::NoConvergence { iterations, residual_k } => write!(
-                f,
-                "coupled iteration did not converge after {iterations} iterations (last step {residual_k:.3e} K)"
-            ),
+            Self::NoConvergence { iterations, residual_k } => match residual_k {
+                Some(r) => write!(
+                    f,
+                    "coupled iteration did not converge after {iterations} iterations (last step {r:.3e} K)"
+                ),
+                None => write!(
+                    f,
+                    "coupled iteration did not converge after {iterations} iterations (no residual recorded)"
+                ),
+            },
             Self::InvalidConfiguration { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }

@@ -72,8 +72,11 @@ pub fn coupled_rows() -> Vec<(String, f64, f64, bool, f64)> {
         let report = model.solve().expect("rack solves");
         (
             name,
-            report.hottest_junction().degrees(),
-            report.junction_spread_k(),
+            report
+                .hottest_junction()
+                .expect("rack has modules")
+                .degrees(),
+            report.junction_spread_k().expect("rack has modules"),
             report.within_chiller_capacity,
             report.total_heat.as_kilowatts(),
         )

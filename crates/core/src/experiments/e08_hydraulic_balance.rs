@@ -39,8 +39,8 @@ fn measure(plan: &layout::ManifoldPlan, label: &str) -> LayoutRow {
     LayoutRow {
         layout: label.to_owned(),
         flows_lpm: flows.iter().map(|q| q.as_liters_per_minute()).collect(),
-        spread: balance::spread(&flows),
-        cv: balance::coefficient_of_variation(&flows),
+        spread: balance::spread(&flows).expect("manifold has loops"),
+        cv: balance::coefficient_of_variation(&flows).expect("manifold has loops"),
     }
 }
 

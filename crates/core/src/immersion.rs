@@ -2,7 +2,7 @@
 
 use rcs_cooling::ImmersionBath;
 use rcs_devices::{OperatingPoint, PowerModel};
-use rcs_hydraulics::{Element, HydraulicNetwork, Pipe};
+use rcs_hydraulics::{Element, HydraulicNetwork, Pipe, PumpCurve, Valve};
 use rcs_platform::{presets, ComputeModule};
 use rcs_thermal::{
     ChipStack, HeatSink, NodeId, ThermalInterface, ThermalNetwork, TimAging, TimMaterial,
@@ -42,6 +42,12 @@ pub struct ImmersionModel {
     op: OperatingPoint,
     tim_material: TimMaterial,
     aging: TimAging,
+    /// Explicit per-pump curves replacing the bath's identical pumps
+    /// (fault injection: wear, seizure). `None` = the healthy default.
+    pump_overrides: Option<Vec<PumpCurve>>,
+    /// Circulation-path valve opening in `(0, 1]`; `1.0` (the default)
+    /// adds no valve element at all, keeping healthy solves identical.
+    circulation_valve_opening: f64,
 }
 
 impl ImmersionModel {
@@ -67,6 +73,8 @@ impl ImmersionModel {
             op: OperatingPoint::operating_mode(),
             tim_material: TimMaterial::SrcDesigned,
             aging: TimAging::fresh(),
+            pump_overrides: None,
+            circulation_valve_opening: 1.0,
         }
     }
 
@@ -88,6 +96,33 @@ impl ImmersionModel {
     #[must_use]
     pub fn with_aging(mut self, aging: TimAging) -> Self {
         self.aging = aging;
+        self
+    }
+
+    /// Replaces the bath's identical pumps with explicit per-pump
+    /// curves — the fault-injection hook for impeller wear (derated
+    /// curves) and pump seizure (a seized pump is simply omitted from
+    /// the list). An empty list means no circulation at all.
+    #[must_use]
+    pub fn with_pump_curves(mut self, curves: Vec<PumpCurve>) -> Self {
+        self.pump_overrides = Some(curves);
+        self
+    }
+
+    /// Sets a partially stuck valve in the circulation path (fault
+    /// injection). At the default `1.0` no valve element is inserted,
+    /// so healthy solves are bit-identical to the unfaulted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opening` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_circulation_valve(mut self, opening: f64) -> Self {
+        assert!(
+            opening > 0.0 && opening <= 1.0,
+            "valve opening outside (0, 1]"
+        );
+        self.circulation_valve_opening = opening;
         self
     }
 
@@ -126,47 +161,55 @@ impl ImmersionModel {
     ///
     /// Propagates hydraulic solver failures.
     pub fn circulation(&self, oil_bulk: Celsius) -> Result<(VolumeFlow, Power), CoreError> {
+        let pump_curves: Vec<PumpCurve> = match &self.pump_overrides {
+            Some(curves) => curves.clone(),
+            None => vec![self.bath.pump; self.bath.pump_count],
+        };
+        if pump_curves.is_empty() {
+            // every pump seized: no driving head, the bath stagnates
+            return Ok((VolumeFlow::ZERO, Power::ZERO));
+        }
+
         let mut net = HydraulicNetwork::new();
         let a = net.add_junction("bath inlet");
         let b = net.add_junction("bath outlet");
         let d50 = Length::millimeters(50.0);
+        let mut path = vec![
+            Element::MinorLoss {
+                k: 2.0,
+                diameter: d50,
+            }, // bath entry diffuser
+            Element::MinorLoss {
+                k: 4.0,
+                diameter: d50,
+            }, // board stack
+            Element::MinorLoss {
+                k: 2.0,
+                diameter: d50,
+            }, // bath exit collector
+            Element::MinorLoss {
+                k: 6.0,
+                diameter: d50,
+            }, // plate exchanger passages
+            Element::Pipe(Pipe::smooth(Length::from_meters(1.5), d50)),
+        ];
+        if self.circulation_valve_opening < 1.0 {
+            let mut valve = Valve::balancing(d50);
+            valve.opening = self.circulation_valve_opening;
+            path.push(Element::Valve(valve));
+        }
         let bath_branch = net
-            .add_branch(
-                "bath + exchanger path",
-                a,
-                b,
-                vec![
-                    Element::MinorLoss {
-                        k: 2.0,
-                        diameter: d50,
-                    }, // bath entry diffuser
-                    Element::MinorLoss {
-                        k: 4.0,
-                        diameter: d50,
-                    }, // board stack
-                    Element::MinorLoss {
-                        k: 2.0,
-                        diameter: d50,
-                    }, // bath exit collector
-                    Element::MinorLoss {
-                        k: 6.0,
-                        diameter: d50,
-                    }, // plate exchanger passages
-                    Element::Pipe(Pipe::smooth(Length::from_meters(1.5), d50)),
-                ],
-            )
+            .add_branch("bath + exchanger path", a, b, path)
             .map_err(CoreError::from)?;
-        for i in 0..self.bath.pump_count {
-            net.add_branch(
-                format!("pump {i}"),
-                b,
-                a,
-                vec![Element::Pump(self.bath.pump)],
-            )
-            .map_err(CoreError::from)?;
+        for (i, curve) in pump_curves.iter().enumerate() {
+            net.add_branch(format!("pump {i}"), b, a, vec![Element::Pump(*curve)])
+                .map_err(CoreError::from)?;
         }
         let oil = self.bath.coolant.state(oil_bulk);
-        let solution = net.solve(&oil).map_err(CoreError::from)?;
+        // retry ladder: bit-identical to a plain solve for healthy
+        // networks, but deeply derated pump curves get the damped rungs
+        // and, failing those, diagnostics naming the offending branch
+        let solution = net.solve_robust(&oil).map_err(CoreError::from)?;
         let flow = solution.flow(bath_branch);
         let electrical =
             Power::from_watts(solution.total_pump_power().watts() / PUMP_DRIVE_EFFICIENCY);
@@ -181,6 +224,33 @@ impl ImmersionModel {
     /// (it converges in a handful of iterations for every physical
     /// configuration) and propagates substrate failures.
     pub fn solve(&self) -> Result<SteadyReport, CoreError> {
+        self.solve_damped(0.5, 120)
+    }
+
+    /// Solves through the coupled retry ladder: the default damping
+    /// first (bit-identical to [`ImmersionModel::solve`] when it
+    /// converges), then two progressively heavier-damped re-solves for
+    /// stiff faulted configurations; the last rung's
+    /// [`CoreError::NoConvergence`] (with its recorded residual) is
+    /// returned if all fail.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImmersionModel::solve`]; substrate failures propagate
+    /// immediately without retries.
+    pub fn solve_robust(&self) -> Result<SteadyReport, CoreError> {
+        const LADDER: [(f64, usize); 3] = [(0.5, 120), (0.25, 400), (0.1, 1200)];
+        let mut last = None;
+        for (damping, max_iter) in LADDER {
+            match self.solve_damped(damping, max_iter) {
+                Err(e @ CoreError::NoConvergence { .. }) => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("ladder has at least one rung"))
+    }
+
+    fn solve_damped(&self, damping: f64, max_iter: usize) -> Result<SteadyReport, CoreError> {
         let model = PowerModel::for_part(self.module.ccb().part());
         let stack = self.chip_stack();
 
@@ -192,8 +262,9 @@ impl ImmersionModel {
         let mut velocity = Velocity::from_meters_per_second(0.0);
         let mut converged = false;
         let mut iterations = 0;
+        let mut last_step = None;
 
-        for iter in 0..120 {
+        for iter in 0..max_iter {
             iterations = iter + 1;
             let oil_bulk = Celsius::new(0.5 * (oil_hot.degrees() + oil_cold.degrees()));
             let (q, p_elec) = self.circulation(oil_bulk)?;
@@ -231,9 +302,13 @@ impl ImmersionModel {
             let new_tj = new_hot + chip_p * stack.total_resistance(&oil_state, velocity);
 
             let step = (new_tj - tj).kelvins().abs() + (new_hot - oil_hot).kelvins().abs();
-            oil_hot = Celsius::new(0.5 * (oil_hot.degrees() + new_hot.degrees()));
-            oil_cold = Celsius::new(0.5 * (oil_cold.degrees() + new_cold.degrees()));
-            tj = Celsius::new(0.5 * (tj.degrees() + new_tj.degrees()));
+            last_step = Some(step);
+            // blend factor: with the default damping of 0.5 this is the
+            // plain average; heavier ladder rungs move more slowly
+            let keep = 1.0 - damping;
+            oil_hot = Celsius::new(keep * oil_hot.degrees() + damping * new_hot.degrees());
+            oil_cold = Celsius::new(keep * oil_cold.degrees() + damping * new_cold.degrees());
+            tj = Celsius::new(keep * tj.degrees() + damping * new_tj.degrees());
             if step < 1e-7 {
                 converged = true;
                 break;
@@ -242,7 +317,7 @@ impl ImmersionModel {
         if !converged {
             return Err(CoreError::NoConvergence {
                 iterations,
-                residual_k: f64::NAN,
+                residual_k: last_step,
             });
         }
 
@@ -415,7 +490,9 @@ impl WarmupTrace {
     /// value.
     #[must_use]
     pub fn settling_time(&self, tolerance_k: f64) -> Seconds {
-        self.trace.settling_time(self.chip_node, tolerance_k)
+        self.trace
+            .settling_time(self.chip_node, tolerance_k)
+            .expect("warmup traces are never empty")
     }
 
     /// The underlying network trace.

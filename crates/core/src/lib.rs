@@ -38,6 +38,7 @@
 
 mod air;
 mod coldplate;
+mod drill;
 mod error;
 pub mod experiments;
 mod fleet;
@@ -49,6 +50,10 @@ mod supervisor;
 
 pub use air::AirCooledModel;
 pub use coldplate::ColdPlateModel;
+pub use drill::{
+    ChannelHealth, DrillOutcome, FaultDrill, HardenedSupervisor, RawScan, COMPONENT_PROBES,
+    SCAN_DT, SHUTDOWN_MARGIN_K,
+};
 pub use error::CoreError;
 pub use fleet::{FleetConfig, FleetOutcome, FleetSimulation};
 pub use immersion::{ImmersionModel, WarmupTrace};

@@ -30,7 +30,7 @@ use crate::report::SteadyReport;
 ///
 /// let report = RackImmersionModel::skat_rack(12).solve()?;
 /// assert!(report.within_chiller_capacity);
-/// assert!(report.junction_spread_k() < 1.0); // reverse return keeps it tight
+/// assert!(report.junction_spread_k().expect("non-empty rack") < 1.0); // reverse return keeps it tight
 /// # Ok::<(), rcs_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -186,34 +186,29 @@ pub struct RackReport {
 }
 
 impl RackReport {
-    /// Hottest junction in the rack.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty rack (impossible by construction).
+    /// Hottest junction in the rack, or `None` for an empty module list
+    /// (a constructed rack always has at least one module, but a report
+    /// must not invent `f64::MIN` °C as a "peak" either way).
     #[must_use]
-    pub fn hottest_junction(&self) -> Celsius {
+    pub fn hottest_junction(&self) -> Option<Celsius> {
         self.per_module
             .iter()
             .map(|r| r.junction)
-            .fold(Celsius::new(f64::MIN), Celsius::max)
+            .reduce(Celsius::max)
     }
 
     /// Junction spread across modules (hottest minus coolest), in kelvins
     /// — the rack thermal-uniformity metric the manifold layout controls.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty rack (impossible by construction).
+    /// `None` for an empty module list.
     #[must_use]
-    pub fn junction_spread_k(&self) -> f64 {
-        let max = self.hottest_junction();
+    pub fn junction_spread_k(&self) -> Option<f64> {
+        let max = self.hottest_junction()?;
         let min = self
             .per_module
             .iter()
             .map(|r| r.junction)
-            .fold(Celsius::new(f64::MAX), Celsius::min);
-        (max - min).kelvins()
+            .reduce(Celsius::min)?;
+        Some((max - min).kelvins())
     }
 }
 
@@ -226,15 +221,15 @@ mod tests {
         let report = RackImmersionModel::skat_rack(12).solve().unwrap();
         assert!(report.within_chiller_capacity, "{:.0}", report.total_heat);
         assert!(
-            report.hottest_junction().degrees() <= 55.0,
-            "{}",
+            report.hottest_junction().unwrap().degrees() <= 55.0,
+            "{:?}",
             report.hottest_junction()
         );
         assert_eq!(report.per_module.len(), 12);
         // reverse return keeps module-to-module variation small
         assert!(
-            report.junction_spread_k() < 1.0,
-            "{} K",
+            report.junction_spread_k().unwrap() < 1.0,
+            "{:?} K",
             report.junction_spread_k()
         );
     }
@@ -246,7 +241,7 @@ mod tests {
             .with_manifold_style(ReturnStyle::Direct)
             .solve()
             .unwrap();
-        assert!(direct.junction_spread_k() > reverse.junction_spread_k());
+        assert!(direct.junction_spread_k().unwrap() > reverse.junction_spread_k().unwrap());
     }
 
     #[test]
@@ -262,9 +257,9 @@ mod tests {
             .unwrap();
         assert!(!starved.within_chiller_capacity);
         assert!(starved.chiller_supply > nominal.chiller_supply);
-        assert!(starved.hottest_junction() > nominal.hottest_junction());
+        assert!(starved.hottest_junction().unwrap() > nominal.hottest_junction().unwrap());
         // but the immersion headroom still keeps it inside the window
-        assert!(starved.hottest_junction().degrees() <= 67.5);
+        assert!(starved.hottest_junction().unwrap().degrees() <= 67.5);
     }
 
     #[test]
@@ -281,7 +276,7 @@ mod tests {
             .solve()
             .unwrap();
         assert!(on_220kw.within_chiller_capacity);
-        assert!(on_220kw.hottest_junction() < on_150kw.hottest_junction());
+        assert!(on_220kw.hottest_junction().unwrap() < on_150kw.hottest_junction().unwrap());
     }
 
     #[test]

@@ -49,13 +49,12 @@ pub struct SupervisionOutcome {
 }
 
 impl SupervisionOutcome {
-    /// Highest junction temperature seen across the scenario.
+    /// Highest junction temperature seen across the scenario, or `None`
+    /// for an empty scenario (previously this folded from `f64::MIN`
+    /// and reported it as a real "peak").
     #[must_use]
-    pub fn peak_junction(&self) -> Celsius {
-        self.steps
-            .iter()
-            .map(|s| s.junction)
-            .fold(Celsius::new(f64::MIN), Celsius::max)
+    pub fn peak_junction(&self) -> Option<Celsius> {
+        self.steps.iter().map(|s| s.junction).reduce(Celsius::max)
     }
 }
 
@@ -78,7 +77,7 @@ impl SupervisionOutcome {
 /// let outcome = Supervisor::skat_default().run(&scenario)?;
 /// // the supervisor keeps the module alive by shedding load
 /// assert!(!outcome.shut_down);
-/// assert!(outcome.peak_junction().degrees() <= 67.5);
+/// assert!(outcome.peak_junction().expect("non-empty scenario").degrees() <= 67.5);
 /// # Ok::<(), rcs_core::CoreError>(())
 /// ```
 #[derive(Debug, Clone)]
@@ -214,7 +213,7 @@ mod tests {
             .iter()
             .any(|s| s.action == Action::ThrottleLoad));
         // the whole point: the junction never leaves the reliability window
-        assert!(outcome.peak_junction().degrees() <= 67.5);
+        assert!(outcome.peak_junction().unwrap().degrees() <= 67.5);
     }
 
     #[test]
@@ -230,7 +229,7 @@ mod tests {
         let supervised = Supervisor::skat_default()
             .run(&ramp(20.0, 34.0, 10))
             .unwrap();
-        assert!(unsupervised.junction > supervised.peak_junction());
+        assert!(unsupervised.junction > supervised.peak_junction().unwrap());
     }
 
     #[test]

@@ -14,44 +14,36 @@ use crate::error::HydraulicError;
 use crate::layout::ManifoldPlan;
 
 /// Ratio of the largest to the smallest loop flow (`>= 1`, 1 is perfectly
-/// balanced).
-///
-/// # Panics
-///
-/// Panics on an empty slice.
+/// balanced); `None` for an empty slice — there is no meaningful spread
+/// of zero loops, and folding from `f64::MIN`/`f64::MAX` would invent
+/// one.
 #[must_use]
-pub fn spread(flows: &[VolumeFlow]) -> f64 {
-    assert!(!flows.is_empty(), "spread of no flows");
-    let max = flows
-        .iter()
-        .map(|q| q.cubic_meters_per_second())
-        .fold(f64::MIN, f64::max);
-    let min = flows
-        .iter()
-        .map(|q| q.cubic_meters_per_second())
-        .fold(f64::MAX, f64::min);
-    if min <= 0.0 {
-        f64::INFINITY
-    } else {
-        max / min
+pub fn spread(flows: &[VolumeFlow]) -> Option<f64> {
+    let (first, rest) = flows.split_first()?;
+    let mut max = first.cubic_meters_per_second();
+    let mut min = max;
+    for q in rest {
+        let q = q.cubic_meters_per_second();
+        max = max.max(q);
+        min = min.min(q);
     }
+    Some(if min <= 0.0 { f64::INFINITY } else { max / min })
 }
 
-/// Coefficient of variation (standard deviation over mean) of loop flows.
-///
-/// # Panics
-///
-/// Panics on an empty slice.
+/// Coefficient of variation (standard deviation over mean) of loop
+/// flows; `None` for an empty slice.
 #[must_use]
-pub fn coefficient_of_variation(flows: &[VolumeFlow]) -> f64 {
-    assert!(!flows.is_empty(), "cv of no flows");
+pub fn coefficient_of_variation(flows: &[VolumeFlow]) -> Option<f64> {
+    if flows.is_empty() {
+        return None;
+    }
     let xs: Vec<f64> = flows.iter().map(|q| q.cubic_meters_per_second()).collect();
     let mean = xs.iter().sum::<f64>() / xs.len() as f64;
     if mean == 0.0 {
-        return 0.0;
+        return Some(0.0);
     }
     let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-    var.sqrt() / mean
+    Some(var.sqrt() / mean)
 }
 
 /// Report of an auto-trim run.
@@ -87,7 +79,8 @@ pub fn auto_trim(
     let n = plan.loop_count();
     let mut openings = vec![1.0f64; n];
     let initial = plan.network.solve(fluid)?;
-    let spread_before = spread(&plan.loop_flows(&initial));
+    // a plan with no loops is trivially balanced
+    let spread_before = spread(&plan.loop_flows(&initial)).unwrap_or(1.0);
 
     let mut best = spread_before;
     let mut rounds = 0;
@@ -95,7 +88,7 @@ pub fn auto_trim(
         rounds = round + 1;
         let sol = plan.network.solve(fluid)?;
         let flows = plan.loop_flows(&sol);
-        let s = spread(&flows);
+        let s = spread(&flows).unwrap_or(1.0);
         best = best.min(s);
         if s <= target_spread {
             return Ok(TrimReport {
@@ -118,7 +111,7 @@ pub fn auto_trim(
         }
     }
     let sol = plan.network.solve(fluid)?;
-    let spread_after = spread(&plan.loop_flows(&sol));
+    let spread_after = spread(&plan.loop_flows(&sol)).unwrap_or(1.0);
     Ok(TrimReport {
         spread_before,
         spread_after,
@@ -137,8 +130,8 @@ mod tests {
     #[test]
     fn spread_of_equal_flows_is_one() {
         let flows = vec![VolumeFlow::liters_per_minute(40.0); 5];
-        assert!((spread(&flows) - 1.0).abs() < 1e-12);
-        assert!(coefficient_of_variation(&flows) < 1e-12);
+        assert!((spread(&flows).unwrap() - 1.0).abs() < 1e-12);
+        assert!(coefficient_of_variation(&flows).unwrap() < 1e-12);
     }
 
     #[test]
@@ -147,14 +140,20 @@ mod tests {
             VolumeFlow::liters_per_minute(60.0),
             VolumeFlow::liters_per_minute(40.0),
         ];
-        assert!((spread(&flows) - 1.5).abs() < 1e-12);
-        assert!(coefficient_of_variation(&flows) > 0.19);
+        assert!((spread(&flows).unwrap() - 1.5).abs() < 1e-12);
+        assert!(coefficient_of_variation(&flows).unwrap() > 0.19);
     }
 
     #[test]
     fn spread_is_infinite_with_a_dead_loop() {
         let flows = vec![VolumeFlow::liters_per_minute(60.0), VolumeFlow::ZERO];
-        assert!(spread(&flows).is_infinite());
+        assert!(spread(&flows).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn empty_flow_sets_have_no_metrics() {
+        assert_eq!(spread(&[]), None);
+        assert_eq!(coefficient_of_variation(&[]), None);
     }
 
     #[test]

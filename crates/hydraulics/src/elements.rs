@@ -199,6 +199,26 @@ impl PumpCurve {
     pub fn hydraulic_power(&self, q: VolumeFlow) -> rcs_units::Power {
         self.pressure_gain(q) * q
     }
+
+    /// A degraded copy of this pump: shutoff head scaled by
+    /// `head_factor` and zero-head flow by `flow_factor`.
+    ///
+    /// This is the fault-injection hook for impeller wear (both factors
+    /// decay together by the affinity laws, ∝ speed² and ∝ speed) and
+    /// for air entrainment when the bath level uncovers the suction.
+    /// Factors are clamped to a small positive floor so a "seized" pump
+    /// stays a valid curve — callers model full seizure by removing the
+    /// branch, not by a zero-head pump.
+    #[must_use]
+    pub fn derated(&self, head_factor: f64, flow_factor: f64) -> Self {
+        const FLOOR: f64 = 1e-3;
+        Self {
+            shutoff: Pressure::from_pascals(self.shutoff.pascals() * head_factor.max(FLOOR)),
+            max_flow: VolumeFlow::from_cubic_meters_per_second(
+                self.max_flow.cubic_meters_per_second() * flow_factor.max(FLOOR),
+            ),
+        }
+    }
 }
 
 /// One element of a hydraulic branch. A branch's total pressure drop is
@@ -348,6 +368,24 @@ mod tests {
             .hydraulic_power(VolumeFlow::liters_per_minute(118.0))
             .watts();
         assert!(mid > low && mid > high);
+    }
+
+    #[test]
+    fn derated_pump_scales_both_curve_endpoints() {
+        let p = PumpCurve::new(
+            Pressure::kilopascals(80.0),
+            VolumeFlow::liters_per_minute(900.0),
+        );
+        let worn = p.derated(0.25, 0.5);
+        assert!((worn.shutoff.as_kilopascals() - 20.0).abs() < 1e-12);
+        assert!((worn.max_flow.as_liters_per_minute() - 450.0).abs() < 1e-9);
+        // unit factors are the identity
+        let same = p.derated(1.0, 1.0);
+        assert_eq!(same, p);
+        // non-positive factors clamp to a valid (tiny) curve
+        let dead = p.derated(0.0, -1.0);
+        assert!(dead.shutoff.pascals() > 0.0);
+        assert!(dead.max_flow.cubic_meters_per_second() > 0.0);
     }
 
     #[test]

@@ -2,6 +2,49 @@
 
 use rcs_numeric::NumericError;
 
+/// One rung of the [`solve_robust`] retry ladder that failed to
+/// converge, recorded for the post-mortem.
+///
+/// [`solve_robust`]: crate::HydraulicNetwork::solve_robust
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveAttempt {
+    /// Under-relaxation factor used by this attempt.
+    pub relax: f64,
+    /// Iteration budget of this attempt.
+    pub max_iter: usize,
+    /// Final worst continuity residual of this attempt, m³/s.
+    pub residual: f64,
+}
+
+/// Structured post-mortem of a network the whole retry ladder could not
+/// solve: which rungs were tried and where the residual concentrated,
+/// by name, so a faulted configuration reports *what* is unsolvable
+/// instead of an opaque iteration count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceDiagnostics {
+    /// Every ladder rung tried, in order.
+    pub attempts: Vec<SolveAttempt>,
+    /// Junction with the worst continuity residual on the last attempt.
+    pub worst_junction: String,
+    /// Branch with the worst head-closure error on the last attempt.
+    pub worst_branch: String,
+    /// Final worst continuity residual, m³/s.
+    pub residual: f64,
+}
+
+impl core::fmt::Display for ConvergenceDiagnostics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} ladder attempt(s) exhausted; residual {:.3e} m³/s, worst continuity at junction '{}', worst head closure on branch '{}'",
+            self.attempts.len(),
+            self.residual,
+            self.worst_junction,
+            self.worst_branch,
+        )
+    }
+}
+
 /// Error returned by hydraulic network operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum HydraulicError {
@@ -34,6 +77,12 @@ pub enum HydraulicError {
         /// Final worst continuity residual in m³/s.
         residual: f64,
     },
+    /// Every rung of the retry ladder failed; the diagnostics name the
+    /// offending junction and branch.
+    Unsolvable {
+        /// Structured post-mortem of the failed ladder.
+        diagnostics: ConvergenceDiagnostics,
+    },
     /// An underlying numeric kernel failed.
     Numeric(NumericError),
 }
@@ -50,6 +99,9 @@ impl core::fmt::Display for HydraulicError {
                 f,
                 "flow solver did not converge after {iterations} iterations (residual {residual:.3e} m³/s)"
             ),
+            Self::Unsolvable { diagnostics } => {
+                write!(f, "flow network unsolvable: {diagnostics}")
+            }
             Self::Numeric(e) => write!(f, "numeric failure: {e}"),
         }
     }
@@ -81,5 +133,25 @@ mod tests {
             residual: 1e-3,
         };
         assert!(e.to_string().contains("m³/s"));
+    }
+
+    #[test]
+    fn unsolvable_display_names_the_offenders() {
+        let e = HydraulicError::Unsolvable {
+            diagnostics: ConvergenceDiagnostics {
+                attempts: vec![SolveAttempt {
+                    relax: 0.7,
+                    max_iter: 200,
+                    residual: 1e-3,
+                }],
+                worst_junction: "bath inlet".into(),
+                worst_branch: "pump 1".into(),
+                residual: 1e-3,
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("bath inlet"), "{msg}");
+        assert!(msg.contains("pump 1"), "{msg}");
+        assert!(msg.contains("1 ladder attempt"), "{msg}");
     }
 }

@@ -309,7 +309,7 @@ mod tests {
         let plan = rack_manifold(6, ReturnStyle::Reverse);
         let sol = plan.network.solve(&water()).unwrap();
         let flows = plan.loop_flows(&sol);
-        let spread = balance::spread(&flows);
+        let spread = balance::spread(&flows).unwrap();
         assert!(spread < 1.10, "reverse-return spread = {spread}");
     }
 
@@ -318,7 +318,7 @@ mod tests {
         let plan = rack_manifold(6, ReturnStyle::Direct);
         let sol = plan.network.solve(&water()).unwrap();
         let flows = plan.loop_flows(&sol);
-        let spread = balance::spread(&flows);
+        let spread = balance::spread(&flows).unwrap();
         assert!(spread > 1.15, "direct-return spread = {spread}");
         // and the near loop wins
         assert!(flows[0] > flows[5]);
@@ -329,9 +329,11 @@ mod tests {
         for n in [2, 4, 6, 8, 12] {
             let direct = rack_manifold(n, ReturnStyle::Direct);
             let reverse = rack_manifold(n, ReturnStyle::Reverse);
-            let sd = balance::spread(&direct.loop_flows(&direct.network.solve(&water()).unwrap()));
+            let sd = balance::spread(&direct.loop_flows(&direct.network.solve(&water()).unwrap()))
+                .unwrap();
             let sr =
-                balance::spread(&reverse.loop_flows(&reverse.network.solve(&water()).unwrap()));
+                balance::spread(&reverse.loop_flows(&reverse.network.solve(&water()).unwrap()))
+                    .unwrap();
             assert!(sr < sd, "n={n}: reverse {sr} !< direct {sd}");
         }
     }
@@ -346,7 +348,7 @@ mod tests {
         let survivors = plan.surviving_loop_flows(&after);
         assert_eq!(survivors.len(), 5);
         // survivors stay balanced
-        let spread = balance::spread(&survivors);
+        let spread = balance::spread(&survivors).unwrap();
         assert!(spread < 1.10, "post-failure spread = {spread}");
         // and they all gained a little flow
         for (i, q) in plan.loop_flows(&after).iter().enumerate() {

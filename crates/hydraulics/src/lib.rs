@@ -33,7 +33,7 @@
 //! let plan = layout::rack_manifold(6, layout::ReturnStyle::Reverse);
 //! let solution = plan.network.solve(&water)?;
 //! let flows = plan.loop_flows(&solution);
-//! assert!(balance::spread(&flows) < 1.10);
+//! assert!(balance::spread(&flows).expect("six loops") < 1.10);
 //! # Ok::<(), rcs_hydraulics::HydraulicError>(())
 //! ```
 
@@ -48,6 +48,7 @@ mod solution;
 mod solver;
 
 pub use elements::{Element, Pipe, PumpCurve, Valve};
-pub use error::HydraulicError;
+pub use error::{ConvergenceDiagnostics, HydraulicError, SolveAttempt};
 pub use network::{BranchId, HydraulicNetwork, JunctionId};
 pub use solution::HydraulicSolution;
+pub use solver::SolveOptions;

@@ -6,12 +6,22 @@
 //! dense elimination, and updates branch flows from the new pressures. An
 //! under-relaxation factor keeps the quadratic loss curves from
 //! oscillating.
+//!
+//! Faulted networks (deeply derated pumps, nearly shut valves) can sit
+//! on much stiffer loss curves than healthy ones, so the solver also
+//! exposes a retry ladder ([`HydraulicNetwork::solve_robust`]): the
+//! default settings first, then progressively heavier damping with a
+//! larger iteration budget, and finally a structured
+//! [`ConvergenceDiagnostics`] naming the worst junction and branch if
+//! every rung fails.
+//!
+//! [`ConvergenceDiagnostics`]: crate::error::ConvergenceDiagnostics
 
 use rcs_fluids::FluidState;
 use rcs_numeric::Matrix;
 use rcs_units::VolumeFlow;
 
-use crate::error::HydraulicError;
+use crate::error::{ConvergenceDiagnostics, HydraulicError, SolveAttempt};
 use crate::network::HydraulicNetwork;
 use crate::solution::HydraulicSolution;
 
@@ -22,6 +32,61 @@ const MAX_ITER: usize = 200;
 /// Under-relaxation on flow updates.
 const RELAX: f64 = 0.7;
 
+/// Tuning knobs for one solve attempt.
+///
+/// The defaults reproduce the historical solver behaviour exactly;
+/// [`SolveOptions::damped`] builds the heavier rungs of the retry
+/// ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveOptions {
+    /// Under-relaxation factor on flow updates, in `(0, 1]`.
+    pub relax: f64,
+    /// Maximum outer Newton iterations.
+    pub max_iter: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        Self {
+            relax: RELAX,
+            max_iter: MAX_ITER,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// A damped attempt: heavier under-relaxation with a larger budget.
+    #[must_use]
+    pub fn damped(relax: f64, max_iter: usize) -> Self {
+        Self { relax, max_iter }
+    }
+
+    /// The retry ladder used by [`HydraulicNetwork::solve_robust`]:
+    /// default first (bit-identical to [`HydraulicNetwork::solve`] when
+    /// it converges), then two progressively damped re-solves.
+    #[must_use]
+    pub fn ladder() -> [Self; 3] {
+        [
+            Self::default(),
+            Self::damped(0.45, 500),
+            Self::damped(0.15, 1500),
+        ]
+    }
+}
+
+/// Where a failed attempt left off — enough to build the diagnostics.
+struct SolveFailure {
+    iterations: usize,
+    residual: f64,
+    worst_junction: usize,
+    worst_branch: usize,
+}
+
+enum InnerError {
+    Stalled(SolveFailure),
+    Other(HydraulicError),
+}
+
 impl HydraulicNetwork {
     /// Solves the steady flow distribution for the given fluid state.
     ///
@@ -31,6 +96,100 @@ impl HydraulicNetwork {
     /// does not fall below tolerance, and propagates singular-matrix
     /// failures from degenerate networks.
     pub fn solve(&self, fluid: &FluidState) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with(fluid, &SolveOptions::default())
+    }
+
+    /// Solves with explicit damping/budget options.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_with(
+        &self,
+        fluid: &FluidState,
+        opts: &SolveOptions,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_inner(fluid, opts).map_err(|e| match e {
+            InnerError::Stalled(fail) => HydraulicError::NoConvergence {
+                iterations: fail.iterations,
+                residual: fail.residual,
+            },
+            InnerError::Other(err) => err,
+        })
+    }
+
+    /// Solves through the retry ladder: default options first, then two
+    /// progressively damped re-solves; a network that defeats all three
+    /// returns [`HydraulicError::Unsolvable`] with structured
+    /// diagnostics naming the worst junction and branch.
+    ///
+    /// When the first rung converges the result is bit-identical to
+    /// [`HydraulicNetwork::solve`], so healthy networks pay nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`HydraulicError::Unsolvable`] after the whole ladder stalls;
+    /// singular-matrix and builder failures propagate immediately.
+    pub fn solve_robust(&self, fluid: &FluidState) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder(fluid, &SolveOptions::ladder())
+    }
+
+    /// Solves through an explicit retry ladder (see
+    /// [`HydraulicNetwork::solve_robust`] for the default rungs).
+    ///
+    /// # Errors
+    ///
+    /// [`HydraulicError::Unsolvable`] after every rung stalls (or for an
+    /// empty ladder); singular-matrix and builder failures propagate
+    /// immediately.
+    pub fn solve_with_ladder(
+        &self,
+        fluid: &FluidState,
+        rungs: &[SolveOptions],
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        if rungs.is_empty() {
+            return Err(HydraulicError::NonPositiveParameter {
+                parameter: "retry ladder rung count",
+            });
+        }
+        let mut attempts = Vec::new();
+        let mut last_failure: Option<SolveFailure> = None;
+        for opts in rungs {
+            match self.solve_inner(fluid, opts) {
+                Ok(solution) => return Ok(solution),
+                Err(InnerError::Stalled(fail)) => {
+                    attempts.push(SolveAttempt {
+                        relax: opts.relax,
+                        max_iter: opts.max_iter,
+                        residual: fail.residual,
+                    });
+                    last_failure = Some(fail);
+                }
+                Err(InnerError::Other(err)) => return Err(err),
+            }
+        }
+        let fail = last_failure.expect("ladder has at least one rung");
+        Err(HydraulicError::Unsolvable {
+            diagnostics: ConvergenceDiagnostics {
+                attempts,
+                worst_junction: self
+                    .junctions
+                    .get(fail.worst_junction)
+                    .map_or_else(|| "<none>".into(), |j| j.name.clone()),
+                worst_branch: self
+                    .branches
+                    .get(fail.worst_branch)
+                    .map_or_else(|| "<none>".into(), |b| b.name.clone()),
+                residual: fail.residual,
+            },
+        })
+    }
+
+    fn solve_inner(
+        &self,
+        fluid: &FluidState,
+        opts: &SolveOptions,
+    ) -> Result<HydraulicSolution, InnerError> {
         let n_junctions = self.junctions.len();
         let reference = self.reference.map_or(0, |r| r.0);
         // Unknown pressure nodes: all but the reference.
@@ -58,7 +217,9 @@ impl HydraulicNetwork {
         }
 
         let mut last_residual = f64::INFINITY;
-        for iter in 0..MAX_ITER {
+        let mut worst_junction = 0usize;
+        let mut worst_branch = 0usize;
+        for iter in 0..opts.max_iter {
             // Linearize each open branch: dp(Q) ~ h + h' (Qnew - Q).
             let mut h = vec![0.0; self.branches.len()];
             let mut d = vec![0.0; self.branches.len()];
@@ -106,7 +267,7 @@ impl HydraulicNetwork {
                     }
                 }
 
-                let p = a.solve(&rhs)?;
+                let p = a.solve(&rhs).map_err(|e| InnerError::Other(e.into()))?;
                 for (c, &j) in unknowns.iter().enumerate() {
                     pressures[j] = p[c];
                 }
@@ -121,7 +282,7 @@ impl HydraulicNetwork {
                 }
                 let dp = pressures[b.from.0] - pressures[b.to.0];
                 let q_new = flows[k] + d[k] * (dp - h[k]);
-                flows[k] = RELAX * q_new + (1.0 - RELAX) * flows[k];
+                flows[k] = opts.relax * q_new + (1.0 - opts.relax) * flows[k];
             }
 
             // Continuity check at every junction...
@@ -131,7 +292,13 @@ impl HydraulicNetwork {
                 residual[b.to.0] += flows[k];
             }
             residual[reference] = 0.0; // the reference absorbs the closure
-            let worst = residual.iter().fold(0.0f64, |m, r| m.max(r.abs()));
+            let mut worst = 0.0f64;
+            for (j, r) in residual.iter().enumerate() {
+                if r.abs() > worst {
+                    worst = r.abs();
+                    worst_junction = j;
+                }
+            }
             let scale = flows.iter().fold(0.0f64, |m, q| m.max(q.abs())).max(1e-6);
 
             // ...plus head closure on every open branch. Continuity alone is
@@ -146,7 +313,10 @@ impl HydraulicNetwork {
                 let q = VolumeFlow::from_cubic_meters_per_second(flows[k]);
                 let drop = b.pressure_drop(q, fluid).pascals();
                 let dp = pressures[b.from.0] - pressures[b.to.0];
-                worst_head = worst_head.max((drop - dp).abs());
+                if (drop - dp).abs() > worst_head {
+                    worst_head = (drop - dp).abs();
+                    worst_branch = k;
+                }
                 head_scale = head_scale.max(drop.abs()).max(dp.abs());
             }
 
@@ -165,10 +335,12 @@ impl HydraulicNetwork {
             }
             last_residual = worst.max(worst_head / head_scale * scale);
         }
-        Err(HydraulicError::NoConvergence {
-            iterations: MAX_ITER,
+        Err(InnerError::Stalled(SolveFailure {
+            iterations: opts.max_iter,
             residual: last_residual,
-        })
+            worst_junction,
+            worst_branch,
+        }))
     }
 }
 
@@ -336,6 +508,80 @@ mod tests {
         let sol = net.solve(&water()).unwrap();
         assert_eq!(sol.pressure(spur_end).pascals(), 0.0);
         assert_eq!(sol.flow(spur).cubic_meters_per_second(), 0.0);
+    }
+
+    #[test]
+    fn robust_solve_is_identical_to_plain_solve_on_healthy_networks() {
+        // First ladder rung == default options, so a converging network
+        // must produce bit-identical flows through either entry point.
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let b1 = net.add_branch("short", s, r, vec![pipe(5.0)]).unwrap();
+        let b2 = net.add_branch("long", s, r, vec![pipe(40.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let plain = net.solve(&water()).unwrap();
+        let robust = net.solve_robust(&water()).unwrap();
+        for b in [b1, b2] {
+            assert_eq!(
+                plain.flow(b).cubic_meters_per_second(),
+                robust.flow(b).cubic_meters_per_second()
+            );
+        }
+    }
+
+    #[test]
+    fn damped_rungs_rescue_a_budget_starved_first_attempt() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        // One-iteration budget cannot converge...
+        let starved = SolveOptions::damped(0.7, 1);
+        assert!(matches!(
+            net.solve_with(&water(), &starved),
+            Err(HydraulicError::NoConvergence { iterations: 1, .. })
+        ));
+        // ...but a ladder whose later rung has a real budget succeeds.
+        let sol = net
+            .solve_with_ladder(&water(), &[starved, SolveOptions::default()])
+            .unwrap();
+        assert!(sol.flows()[0].as_liters_per_minute() > 50.0);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_structured_diagnostics() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("bath outlet");
+        let b = net.add_junction("bath inlet");
+        net.add_branch("loop pipe", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("bath pump", b, a, vec![pump()]).unwrap();
+        let rungs = [SolveOptions::damped(0.7, 1), SolveOptions::damped(0.3, 2)];
+        let err = net.solve_with_ladder(&water(), &rungs).unwrap_err();
+        let HydraulicError::Unsolvable { diagnostics } = err else {
+            panic!("expected Unsolvable, got {err:?}");
+        };
+        assert_eq!(diagnostics.attempts.len(), 2);
+        assert_eq!(diagnostics.attempts[0].max_iter, 1);
+        assert_eq!(diagnostics.attempts[1].relax, 0.3);
+        assert!(diagnostics.residual.is_finite());
+        // the named offenders are real members of this network
+        assert!(["bath outlet", "bath inlet"].contains(&diagnostics.worst_junction.as_str()));
+        assert!(["loop pipe", "bath pump"].contains(&diagnostics.worst_branch.as_str()));
+    }
+
+    #[test]
+    fn empty_ladder_is_rejected() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        assert!(matches!(
+            net.solve_with_ladder(&water(), &[]),
+            Err(HydraulicError::NonPositiveParameter { .. })
+        ));
     }
 
     #[test]

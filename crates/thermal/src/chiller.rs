@@ -88,6 +88,35 @@ impl Chiller {
         load <= self.capacity
     }
 
+    /// A degraded copy with its rated capacity scaled by
+    /// `capacity_factor` (refrigerant loss, a failed compressor stage).
+    ///
+    /// The setpoint and COP are untouched: a derated chiller still
+    /// *tries* to hold its setpoint, it just overloads — and therefore
+    /// supplies warmer water — at a lower heat load. The factor is
+    /// clamped to a small positive floor to keep the overload model
+    /// well-defined.
+    #[must_use]
+    pub fn derated(&self, capacity_factor: f64) -> Self {
+        Self {
+            setpoint: self.setpoint,
+            capacity: Power::from_watts(self.capacity.watts() * capacity_factor.max(1e-3)),
+            cop: self.cop,
+        }
+    }
+
+    /// A copy with the supply setpoint shifted by `offset` (a drifting
+    /// or mis-commanded setpoint — the controller fault, as opposed to
+    /// the compressor fault modeled by [`Chiller::derated`]).
+    #[must_use]
+    pub fn with_setpoint_offset(&self, offset: TempDelta) -> Self {
+        Self {
+            setpoint: self.setpoint + offset,
+            capacity: self.capacity,
+            cop: self.cop,
+        }
+    }
+
     /// Electrical power drawn to move the given heat load.
     #[must_use]
     pub fn electrical_power(&self, load: Power) -> Power {
@@ -137,5 +166,29 @@ mod tests {
     #[should_panic(expected = "COP must be positive")]
     fn zero_cop_panics() {
         let _ = Chiller::new(Celsius::new(20.0), Power::kilowatts(1.0), 0.0);
+    }
+
+    #[test]
+    fn derated_chiller_overloads_sooner() {
+        let c = chiller();
+        let half = c.derated(0.5);
+        assert_eq!(half.capacity(), Power::kilowatts(50.0));
+        assert_eq!(half.setpoint(), c.setpoint());
+        // the same 80 kW load is within capacity when healthy, an
+        // overload (warmer supply) when derated
+        assert_eq!(c.supply_temperature(Power::kilowatts(80.0)), c.setpoint());
+        assert!(half.supply_temperature(Power::kilowatts(80.0)) > c.setpoint());
+        // the floor keeps a "fully failed" chiller well-defined
+        assert!(c.derated(0.0).capacity().watts() > 0.0);
+    }
+
+    #[test]
+    fn setpoint_offset_shifts_supply() {
+        let c = chiller().with_setpoint_offset(TempDelta::from_kelvins(7.0));
+        assert_eq!(c.setpoint(), Celsius::new(27.0));
+        assert_eq!(
+            c.supply_temperature(Power::kilowatts(10.0)),
+            Celsius::new(27.0)
+        );
     }
 }

@@ -95,6 +95,23 @@ impl PlateHeatExchanger {
         self.ua
     }
 
+    /// A fouled copy of this exchanger: the given fouling resistance
+    /// (K/W) is added in series with the clean surface, so
+    /// `UA' = 1 / (1/UA + R_f)`.
+    ///
+    /// This is the fault-injection hook for fouling drift — scale
+    /// deposits on the water side and varnish on the oil side grow a
+    /// resistance on top of the clean plate stack. Negative resistances
+    /// are clamped to zero (an exchanger cannot be cleaner than clean).
+    #[must_use]
+    pub fn with_fouling(&self, fouling_resistance_k_per_w: f64) -> Self {
+        let r_clean = 1.0 / self.ua.watts_per_kelvin();
+        Self {
+            ua: ThermalCapacityRate::new(1.0 / (r_clean + fouling_resistance_k_per_w.max(0.0))),
+            arrangement: self.arrangement,
+        }
+    }
+
     /// Flow arrangement.
     #[must_use]
     pub fn arrangement(&self) -> FlowArrangement {
@@ -274,6 +291,21 @@ mod tests {
             ThermalCapacityRate::new(4000.0),
         );
         assert!(out.duty.watts().abs() < 1e-9);
+    }
+
+    #[test]
+    fn fouling_adds_series_resistance() {
+        let clean = hx(2000.0);
+        // R_f equal to the clean resistance halves the conductance
+        let fouled = clean.with_fouling(1.0 / 2000.0);
+        assert!((fouled.ua().watts_per_kelvin() - 1000.0).abs() < 1e-9);
+        // zero fouling is the identity; negative fouling clamps to clean
+        assert_eq!(clean.with_fouling(0.0), clean);
+        assert_eq!(clean.with_fouling(-1.0), clean);
+        // effectiveness strictly degrades
+        let hot = ThermalCapacityRate::new(1500.0);
+        let cold = ThermalCapacityRate::new(2500.0);
+        assert!(fouled.effectiveness(hot, cold) < clean.effectiveness(hot, cold));
     }
 
     #[test]

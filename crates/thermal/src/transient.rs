@@ -33,57 +33,68 @@ impl TransientTrace {
         self.times.is_empty()
     }
 
+    /// Temperature of `node` at sample `sample`, or `None` if either the
+    /// sample index or the node id is out of range — the checked
+    /// counterpart of [`TransientTrace::temperature`].
+    #[must_use]
+    pub fn get(&self, sample: usize, node: NodeId) -> Option<Celsius> {
+        self.temperatures.get(sample)?.get(node.0).copied()
+    }
+
     /// Temperature of `node` at sample `i`.
     ///
     /// # Panics
     ///
-    /// Panics if the sample index or node id is out of range.
+    /// Panics if the sample index or node id is out of range; use
+    /// [`TransientTrace::get`] to handle that case.
     #[must_use]
     pub fn temperature(&self, i: usize, node: NodeId) -> Celsius {
-        self.temperatures[i][node.0]
+        self.get(i, node)
+            .expect("sample index and node id in range")
+    }
+
+    /// Final temperature of `node`, or `None` on an empty trace or a
+    /// foreign node id.
+    #[must_use]
+    pub fn last(&self, node: NodeId) -> Option<Celsius> {
+        self.get(self.temperatures.len().checked_sub(1)?, node)
     }
 
     /// Final temperature of `node`.
     ///
     /// # Panics
     ///
-    /// Panics on an empty trace or foreign node id.
+    /// Panics on an empty trace or foreign node id; use
+    /// [`TransientTrace::last`] to handle that case.
     #[must_use]
     pub fn final_temperature(&self, node: NodeId) -> Celsius {
-        self.temperatures[self.temperatures.len() - 1][node.0]
+        self.last(node).expect("non-empty trace and known node id")
     }
 
-    /// The full time series of one node.
-    ///
-    /// # Panics
-    ///
-    /// Panics on a foreign node id.
+    /// The full time series of one node; empty for a foreign node id.
     #[must_use]
     pub fn series(&self, node: NodeId) -> Vec<(Seconds, Celsius)> {
         self.times
             .iter()
             .zip(&self.temperatures)
-            .map(|(&t, temps)| (t, temps[node.0]))
+            .filter_map(|(&t, temps)| Some((t, *temps.get(node.0)?)))
             .collect()
     }
 
-    /// Time at which `node` first reaches within `tolerance` kelvins of its
-    /// final value and stays there, i.e. the settling time.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty trace or foreign node id.
+    /// Time at which `node` first reaches within `tolerance` kelvins of
+    /// its final value and stays there, i.e. the settling time; `None`
+    /// on an empty trace or foreign node id.
     #[must_use]
-    pub fn settling_time(&self, node: NodeId, tolerance_k: f64) -> Seconds {
-        let target = self.final_temperature(node).degrees();
-        let mut settled_at = self.times[self.times.len() - 1];
+    pub fn settling_time(&self, node: NodeId, tolerance_k: f64) -> Option<Seconds> {
+        let target = self.last(node)?.degrees();
+        let mut settled_at = *self.times.last()?;
         for i in (0..self.len()).rev() {
-            if (self.temperatures[i][node.0].degrees() - target).abs() > tolerance_k {
+            if (self.get(i, node)?.degrees() - target).abs() > tolerance_k {
                 break;
             }
             settled_at = self.times[i];
         }
-        settled_at
+        Some(settled_at)
     }
 }
 
@@ -335,6 +346,7 @@ mod tests {
             net.solve_transient(Celsius::new(0.0), Seconds::new(500.0), Seconds::new(0.1))
                 .unwrap()
                 .settling_time(j, 0.1)
+                .unwrap()
                 .seconds()
         };
         assert!(settle(40.0) > settle(10.0));

@@ -5,7 +5,9 @@
 //! Run with `cargo run --release --example failure_drill`.
 
 use rcs_sim::cooling::control::{Action, ControlSubsystem, Readings};
-use rcs_sim::core::ImmersionModel;
+use rcs_sim::cooling::faults::{FaultKind, FaultTimeline, SensorChannel, SensorFault};
+use rcs_sim::core::{FaultDrill, ImmersionModel};
+use rcs_sim::numeric::rng::Rng;
 use rcs_sim::thermal::ThermalNetwork;
 use rcs_sim::units::ThermalResistance;
 use rcs_sim::units::{Celsius, Seconds, VolumeFlow};
@@ -93,5 +95,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         None => println!("\nno shutdown ordered within the drill window"),
     }
+
+    // Act two: the same pump loss, replayed through the fault-injection
+    // engine — this time with the agent-temperature transmitter stuck at
+    // a lie. The hardened supervisor has to catch the seizure through
+    // plausibility filtering and redundant probe voting alone.
+    let timeline = FaultTimeline::new()
+        .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 })
+        .with_event(
+            Seconds::minutes(2.0),
+            FaultKind::SensorFault {
+                channel: SensorChannel::AgentTemperature,
+                fault: SensorFault::StuckAt(28.5),
+            },
+        );
+    let drill = FaultDrill::skat(
+        "pump seizure + stuck agent sensor",
+        timeline,
+        Seconds::minutes(20.0),
+    );
+    let outcome = drill.run(&mut Rng::seed_from_u64(7));
+
+    println!("\nhardened drill: {}", outcome.name);
+    match outcome.time_to_shutdown {
+        Some(t) => println!("  emergency stop at t+{:.0} s", t.seconds()),
+        None => println!("  no shutdown ordered"),
+    }
+    println!(
+        "  peak junction {:.1} (limit violations: {}), failed channels: {}",
+        outcome.peak_junction,
+        outcome.violation_steps,
+        if outcome.channel_health.failed_channels().is_empty() {
+            "none".to_owned()
+        } else {
+            outcome.channel_health.failed_channels().join(", ")
+        }
+    );
     Ok(())
 }

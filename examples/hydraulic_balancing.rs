@@ -24,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!(
             "L/min | spread {:.3}, CV {:.4}",
-            balance::spread(&flows),
-            balance::coefficient_of_variation(&flows)
+            balance::spread(&flows).expect("manifold has loops"),
+            balance::coefficient_of_variation(&flows).expect("manifold has loops")
         );
     }
 
@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let survivors = plan.surviving_loop_flows(&plan.network.solve(&water)?);
     println!(
         "  survivors stay balanced: spread {:.3} — no rebalancing needed",
-        balance::spread(&survivors)
+        balance::spread(&survivors).expect("survivors remain")
     );
     Ok(())
 }

@@ -67,7 +67,7 @@ fn design(
     let plan = layout::rack_manifold_with(needed, layout::ReturnStyle::Reverse, &params);
     let water = Coolant::water().state(Celsius::new(20.0));
     let flows = plan.loop_flows(&plan.network.solve(&water)?);
-    let spread = balance::spread(&flows);
+    let spread = balance::spread(&flows).expect("rack manifold has loops");
 
     // Chiller sizing with 25 % margin.
     let chiller_size = Power::from_watts(rack_heat.watts() * 1.25);

@@ -1,11 +1,13 @@
 //! Scenario integration tests: the extension systems (supervisor, rack
 //! coupling, maintenance, energy) playing together.
 
+use rcs_sim::cooling::faults::{FaultKind, FaultTimeline, SensorChannel, SensorFault};
 use rcs_sim::cooling::maintenance::{summarize, PlumbingTopology};
-use rcs_sim::core::{experiments, RackImmersionModel, Supervisor};
+use rcs_sim::core::{experiments, FaultDrill, RackImmersionModel, Supervisor};
 use rcs_sim::hydraulics::layout::ReturnStyle;
+use rcs_sim::numeric::rng::Rng;
 use rcs_sim::thermal::Chiller;
-use rcs_sim::units::{Celsius, Power};
+use rcs_sim::units::{Celsius, Power, Seconds};
 
 /// A data-center heat wave: facility water drifts from 20 to 30 °C over a
 /// day and recovers. The supervised rack sheds load instead of tripping,
@@ -20,7 +22,7 @@ fn heat_wave_is_survivable_under_supervision() {
         .collect();
     let outcome = Supervisor::skat_default().run(&scenario).expect("solves");
     assert!(!outcome.shut_down);
-    assert!(outcome.peak_junction().degrees() <= 67.5);
+    assert!(outcome.peak_junction().unwrap().degrees() <= 67.5);
     // load was shed at the peak and restored at the end
     assert!(outcome.min_utilization < 0.90);
     assert!(outcome.steps.last().unwrap().utilization > outcome.min_utilization);
@@ -36,9 +38,9 @@ fn rack_and_module_models_agree_at_nominal() {
         .expect("solves");
     let rack = RackImmersionModel::skat_rack(12).solve().expect("solves");
     assert!(
-        (rack.hottest_junction().degrees() - single.junction.degrees()).abs() < 1.5,
+        (rack.hottest_junction().unwrap().degrees() - single.junction.degrees()).abs() < 1.5,
         "rack {} vs module {}",
-        rack.hottest_junction(),
+        rack.hottest_junction().unwrap(),
         single.junction
     );
 }
@@ -53,9 +55,9 @@ fn manifold_layout_propagates_to_junction_spread() {
         .with_manifold_style(ReturnStyle::Direct)
         .solve()
         .expect("solves");
-    assert!(direct.junction_spread_k() > reverse.junction_spread_k());
+    assert!(direct.junction_spread_k().unwrap() > reverse.junction_spread_k().unwrap());
     // but immersion headroom absorbs even the direct layout
-    assert!(direct.hottest_junction().degrees() < 67.5);
+    assert!(direct.hottest_junction().unwrap().degrees() < 67.5);
 }
 
 /// Facility sizing: a SKAT+ rack wants more chiller than SKAT's; the
@@ -95,12 +97,42 @@ fn serviceability_and_availability_agree() {
     assert!(im.availability > cp.availability);
 }
 
+/// Acceptance drill for the fault-injection engine: a total circulation
+/// loss whose ground truth crosses the reliability ceiling open-loop
+/// must be pre-empted by the hardened supervisor — which is watching
+/// through a stuck agent-temperature transmitter the whole time.
+#[test]
+fn hardened_supervisor_preempts_hardware_damage_behind_a_lying_sensor() {
+    let timeline = FaultTimeline::new()
+        .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 })
+        .with_event(
+            Seconds::minutes(2.0),
+            FaultKind::SensorFault {
+                channel: SensorChannel::AgentTemperature,
+                fault: SensorFault::StuckAt(28.5),
+            },
+        );
+    let drill = FaultDrill::skat("seizure behind a lie", timeline, Seconds::minutes(20.0));
+
+    let open_loop = drill.run_open_loop(&mut Rng::seed_from_u64(11));
+    assert!(
+        open_loop.violation_steps > 0,
+        "unsupervised drill must actually endanger the hardware: {open_loop:?}"
+    );
+
+    let supervised = drill.run(&mut Rng::seed_from_u64(11));
+    assert!(supervised.shut_down);
+    assert_eq!(supervised.violation_steps, 0, "{supervised:?}");
+    assert!(supervised.peak_junction.degrees() < 67.5);
+    assert!(supervised.solver_failure.is_none());
+}
+
 /// Every extension experiment renders alongside the paper ones.
 #[test]
 fn extended_harness_renders() {
     let tables = experiments::run_all();
     let titles: Vec<&str> = tables.iter().map(|t| t.title.as_str()).collect();
-    for needle in ["E13a", "E14", "E15", "E7b"] {
+    for needle in ["E13a", "E14", "E15", "E7b", "E17"] {
         assert!(
             titles.iter().any(|t| t.contains(needle)),
             "missing {needle} in {titles:?}"
