@@ -17,6 +17,7 @@
 
 use rcs_numeric::rng::Rng;
 use rcs_numeric::stats::percentile;
+use rcs_obs::Registry;
 use rcs_units::HOURS_PER_YEAR;
 
 use crate::risk::FailureClass;
@@ -138,6 +139,40 @@ pub fn monte_carlo_with_threads(
     seed: u64,
     threads: usize,
 ) -> AvailabilityReport {
+    monte_carlo_observed(
+        classes,
+        horizon_years,
+        trials,
+        seed,
+        threads,
+        Registry::disabled(),
+    )
+}
+
+/// [`monte_carlo_with_threads`] with telemetry recorded into `obs` —
+/// all golden-channel integers, bit-identical at any `threads`:
+///
+/// - `mc.runs`, `mc.trials`, `mc.chunks` — workload shape (a function
+///   of `trials` alone, never of the thread count);
+/// - `mc.events`, `mc.hardware_losses` — total failure events and
+///   hardware losses drawn across all trials, recorded per chunk into
+///   per-chunk shards and merged in chunk order (these are the integer
+///   numerators behind the report's `mean_events_per_year` and
+///   `mean_hardware_losses`);
+/// - plus the `parallel.*` map counters from the pool.
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive or `trials` is zero.
+#[must_use]
+pub fn monte_carlo_observed(
+    classes: &[FailureClass],
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    obs: &Registry,
+) -> AvailabilityReport {
     assert!(horizon_years > 0.0, "horizon must be positive");
     assert!(trials > 0, "at least one trial required");
     let hours_total = horizon_years * HOURS_PER_YEAR;
@@ -148,9 +183,17 @@ pub fn monte_carlo_with_threads(
     let streams = Rng::seed_from_u64(seed).split_streams(chunks.len());
     let work: Vec<(usize, Rng)> = chunks.into_iter().map(|r| r.len()).zip(streams).collect();
 
-    let partials = rcs_parallel::par_map_indexed(work, threads, |_, (len, mut rng)| {
-        run_chunk(classes, horizon_years, hours_total, len, &mut rng)
-    });
+    obs.inc("mc.runs");
+    obs.add("mc.trials", trials as u64);
+    obs.add("mc.chunks", work.len() as u64);
+
+    let partials =
+        rcs_parallel::par_map_observed(work, threads, obs, |_, (len, mut rng), shard| {
+            let outcome = run_chunk(classes, horizon_years, hours_total, len, &mut rng);
+            shard.add("mc.events", outcome.events);
+            shard.add("mc.hardware_losses", outcome.losses);
+            outcome
+        });
 
     // Fixed-order reduction: chunk 0, chunk 1, ... regardless of which
     // worker finished first, so float accumulation order is pinned.
@@ -257,6 +300,54 @@ mod tests {
                                                 // both are still "available" systems, not toys
         assert!(im.mean_availability > 0.999);
         assert!(cp.mean_availability > 0.98);
+    }
+
+    #[test]
+    fn observed_counters_are_the_integer_numerators_of_the_report() {
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let obs = Registry::new();
+        let report = monte_carlo_observed(&classes, 5.0, 700, 42, 4, &obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("mc.runs"), 1);
+        assert_eq!(snap.counter("mc.trials"), 700);
+        assert_eq!(snap.counter("mc.chunks"), 11); // ceil(700/64)
+        let events = snap.counter("mc.events");
+        let losses = snap.counter("mc.hardware_losses");
+        assert!(events > 0);
+        let events_per_year = events as f64 / (700.0 * 5.0);
+        assert!((events_per_year - report.mean_events_per_year).abs() < 1e-12);
+        let mean_losses = losses as f64 / 700.0;
+        assert!((mean_losses - report.mean_hardware_losses).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_telemetry_is_identical_at_every_thread_count() {
+        let classes = risk::failure_classes(&CoolingArchitecture::Immersion(
+            ImmersionBath::skat_default(),
+        ));
+        let run = |threads: usize| {
+            let obs = Registry::new();
+            let report = monte_carlo_observed(&classes, 5.0, 500, 42, threads, &obs);
+            (report, obs.snapshot())
+        };
+        let (ref_report, ref_snap) = run(1);
+        for threads in [2, 4, 7] {
+            let (report, snap) = run(threads);
+            assert_eq!(report, ref_report, "threads = {threads}");
+            assert_eq!(snap, ref_snap, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn unobserved_entry_point_is_bit_identical_to_observed() {
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let plain = monte_carlo_with_threads(&classes, 5.0, 300, 9, 2);
+        let observed = monte_carlo_observed(&classes, 5.0, 300, 9, 2, &Registry::new());
+        assert_eq!(plain, observed);
     }
 
     #[test]

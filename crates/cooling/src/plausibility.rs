@@ -131,6 +131,10 @@ pub struct PlausibilityFilter {
     /// enough time had passed to dilute the jump below the rate limit.
     last_scan: Option<Seconds>,
     held_since: Option<Seconds>,
+    /// Delivered-but-implausible samples seen (range or rate check).
+    rejected: u64,
+    /// Dropouts seen (`accept` called with `None`).
+    dropouts: u64,
 }
 
 /// Default hold timeout: a channel implausible for a full minute is
@@ -147,6 +151,8 @@ impl PlausibilityFilter {
             last_good: None,
             last_scan: None,
             held_since: None,
+            rejected: 0,
+            dropouts: 0,
         }
     }
 
@@ -170,6 +176,11 @@ impl PlausibilityFilter {
             }
         });
         self.last_scan = Some(t);
+        match raw {
+            None => self.dropouts += 1,
+            Some(_) if plausible.is_none() => self.rejected += 1,
+            Some(_) => {}
+        }
 
         match plausible {
             Some(v) => {
@@ -200,6 +211,21 @@ impl PlausibilityFilter {
     #[must_use]
     pub fn last_good(&self) -> Option<f64> {
         self.last_good.map(|(_, v)| v)
+    }
+
+    /// How many delivered samples failed the range or rate check over
+    /// this filter's lifetime. A monotonic counter: one implausible
+    /// sample is one rejection, so tests can assert the count against
+    /// the number of injected lies.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// How many scans delivered no sample at all (`None`).
+    #[must_use]
+    pub fn dropouts(&self) -> u64 {
+        self.dropouts
     }
 }
 
@@ -302,6 +328,18 @@ mod tests {
                 status: ChannelStatus::Failed
             }
         );
+    }
+
+    #[test]
+    fn rejection_and_dropout_counters_tally_exactly() {
+        let mut f = agent_filter();
+        f.accept(Seconds::new(0.0), Some(29.0)); // valid
+        f.accept(Seconds::new(2.0), Some(500.0)); // range lie
+        f.accept(Seconds::new(4.0), Some(45.0)); // rate lie
+        f.accept(Seconds::new(6.0), None); // dropout
+        f.accept(Seconds::new(8.0), Some(29.05)); // recovery
+        assert_eq!(f.rejected(), 2);
+        assert_eq!(f.dropouts(), 1);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 
 use rcs_cooling::control::{worst_action, ControlSubsystem, Readings, Severity};
 use rcs_cooling::maintenance::{summarize, PlumbingTopology};
+use rcs_cooling::plausibility::{ChannelLimits, ChannelStatus, PlausibilityFilter};
 use rcs_cooling::risk::{Consequence, FailureClass};
 use rcs_cooling::{availability, ColdPlateLoop, CoolingArchitecture, ImmersionBath};
 use rcs_testkit::check_cases;
-use rcs_units::{Celsius, VolumeFlow};
+use rcs_units::{Celsius, Seconds, VolumeFlow};
 
 fn classes(rate: f64, downtime: f64, loss_p: f64) -> Vec<FailureClass> {
     vec![FailureClass {
@@ -165,6 +166,129 @@ fn connection_ordering() {
         assert!(per_chip > per_board);
         assert!(per_board > bath);
     });
+}
+
+/// A dropout that recovers *inside* the hold window is only ever a
+/// [`ChannelStatus::Held`] degradation; one that outlasts the window
+/// crosses to [`ChannelStatus::Failed`] before recovery. Either way the
+/// first plausible sample restores [`ChannelStatus::Valid`], and the
+/// dropout counter tallies exactly the `None` scans.
+#[test]
+fn dropout_recovery_inside_vs_past_the_hold_window() {
+    check_cases("dropout_recovery_inside_vs_past_the_hold_window", 64, |g| {
+        let hold = g.draw(10.0..120.0f64);
+        let scan = g.draw(1.0..5.0f64);
+        let dropouts = g.draw(1usize..80);
+        let mut f = PlausibilityFilter::new(ChannelLimits::agent_temperature_c())
+            .with_hold_timeout(Seconds::new(hold));
+        f.accept(Seconds::new(0.0), Some(29.0));
+
+        let mut saw_failed = false;
+        for i in 1..=dropouts {
+            let t = Seconds::new(i as f64 * scan);
+            let s = f.accept(t, None);
+            // held while the window runs, failed once it expires —
+            // the window starts at the first implausible scan
+            let elapsed = (i - 1) as f64 * scan;
+            let expect = if elapsed >= hold {
+                ChannelStatus::Failed
+            } else {
+                ChannelStatus::Held
+            };
+            assert_eq!(s.status, expect, "scan {i}, elapsed {elapsed}, hold {hold}");
+            saw_failed |= s.status == ChannelStatus::Failed;
+            // the last good value is offered throughout, even after failure
+            assert_eq!(s.value, Some(29.0));
+        }
+
+        // recovery at the last good value is always rate-plausible
+        let t_rec = Seconds::new((dropouts + 1) as f64 * scan);
+        let back = f.accept(t_rec, Some(29.0));
+        assert_eq!(back.status, ChannelStatus::Valid);
+        assert_eq!(f.dropouts(), dropouts as u64);
+        assert_eq!(f.rejected(), 0);
+        // the window boundary is exact: failure seen iff the dropout run
+        // actually spanned the hold timeout
+        assert_eq!(saw_failed, (dropouts - 1) as f64 * scan >= hold);
+    });
+}
+
+/// The rate check measures against the **last scan time**, not the last
+/// good sample's time: a jump delivered right after a long dropout gap
+/// is still implausible, even though dividing it by the whole gap would
+/// dilute it below the rate limit. (If the filter measured against the
+/// last good time, any stuck value would launder itself by waiting.)
+#[test]
+fn rate_check_straddles_a_long_scan_gap() {
+    check_cases("rate_check_straddles_a_long_scan_gap", 64, |g| {
+        let limits = ChannelLimits::agent_temperature_c();
+        let gap = g.draw(100.0..2000.0f64);
+        let dt = g.draw(1.0..4.0f64);
+        // big enough to violate the per-scan rate, small enough to stay
+        // in range and to look diluted-plausible over the whole gap
+        let jump = g.draw(1.0..(0.04 * (gap + 1.0)).min(20.0));
+        // the jump is a lie over the last scan interval …
+        assert!(jump / dt > limits.max_rate_per_s);
+        // … but would look plausible diluted over the whole gap
+        assert!(jump / (gap + dt) <= limits.max_rate_per_s);
+
+        let mut f = PlausibilityFilter::new(limits).with_hold_timeout(Seconds::new(1e6));
+        f.accept(Seconds::new(0.0), Some(29.0));
+        f.accept(Seconds::new(gap), None);
+        let s = f.accept(Seconds::new(gap + dt), Some(29.0 + jump));
+        assert_eq!(s.status, ChannelStatus::Held, "gap {gap}, jump {jump}");
+        assert_eq!(s.value, Some(29.0));
+        assert_eq!(f.rejected(), 1);
+        assert_eq!(f.dropouts(), 1);
+    });
+}
+
+/// The rejection and dropout counters tally exactly the injected
+/// events, whatever mix of honest samples, range lies, rate lies and
+/// dropouts the channel delivers.
+#[test]
+fn plausibility_counters_match_injected_event_counts() {
+    check_cases(
+        "plausibility_counters_match_injected_event_counts",
+        64,
+        |g| {
+            let limits = ChannelLimits::agent_temperature_c();
+            let mut f = PlausibilityFilter::new(limits);
+            let scan = 2.0;
+            // establish a last-good reference so rate lies are really lies
+            f.accept(Seconds::new(0.0), Some(29.0));
+            let mut lies = 0u64;
+            let mut gaps = 0u64;
+            let events = g.draw(5usize..60);
+            for i in 1..=events {
+                let t = Seconds::new(i as f64 * scan);
+                match g.draw(0u64..4) {
+                    // honest: repeat the last good value (zero rate)
+                    0 => {
+                        let s = f.accept(t, Some(29.0));
+                        assert_eq!(s.status, ChannelStatus::Valid);
+                    }
+                    // range lie: far above any plausible oil temperature
+                    1 => {
+                        f.accept(t, Some(limits.max + g.draw(1.0..500.0f64)));
+                        lies += 1;
+                    }
+                    // rate lie: in range, but an implausible jump per scan
+                    2 => {
+                        f.accept(t, Some(29.0 + g.draw(0.5..10.0f64)));
+                        lies += 1;
+                    }
+                    // dropout
+                    _ => {
+                        f.accept(t, None);
+                        gaps += 1;
+                    }
+                }
+            }
+            assert_eq!(f.rejected(), lies);
+            assert_eq!(f.dropouts(), gaps);
+        },
+    );
 }
 
 /// Dew-point exposure is monotone in supply temperature.

@@ -1,7 +1,14 @@
-//! Prints every experiment table of the reproduction (E1–E12, F1–F5).
+//! Prints every experiment table of the reproduction (E1–E12, F1–F5)
+//! and emits one NDJSON run manifest for the whole sweep
+//! (`RCS_OBS_MANIFEST` file, else stderr). The golden `counter` and
+//! `histogram` manifest lines are bit-identical at every `RCS_THREADS`
+//! setting — the CI counter-diff job holds us to that.
+
+use rcs_core::experiments::{self, run_all_observed};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::run_all() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = run_all_observed(&obs);
+    experiments::finish_run("exp_all", None, &tables, &obs);
 }

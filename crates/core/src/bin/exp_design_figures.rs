@@ -1,7 +1,11 @@
-//! Prints the F1 design-figure experiment tables (see DESIGN.md).
+//! Prints the F1 design-figure experiment tables (see DESIGN.md) and emits an NDJSON run
+//! manifest (`RCS_OBS_MANIFEST` file, else stderr).
+
+use rcs_core::experiments::{self, f01_design_figures};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::f01_design_figures::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = f01_design_figures::run();
+    experiments::finish_run("f01_design_figures", None, &tables, &obs);
 }

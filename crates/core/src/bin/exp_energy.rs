@@ -1,7 +1,11 @@
-//! Prints the E14 annual-energy tables (see DESIGN.md).
+//! Prints the E14 annual-energy tables (see DESIGN.md) and emits an NDJSON run
+//! manifest (`RCS_OBS_MANIFEST` file, else stderr).
+
+use rcs_core::experiments::{self, e14_energy};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e14_energy::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e14_energy::run();
+    experiments::finish_run("e14_energy", None, &tables, &obs);
 }

@@ -1,7 +1,17 @@
-//! Prints the E17 fault-drill tables (see DESIGN.md).
+//! Prints the E17 fault-drill tables (see DESIGN.md) and emits an
+//! NDJSON run manifest (`RCS_OBS_MANIFEST` file, else stderr) carrying
+//! the full `drill.*` defense telemetry of the robustness matrix.
+
+use rcs_core::experiments::{self, e17_fault_drills};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e17_fault_drills::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e17_fault_drills::run_observed(&obs);
+    experiments::finish_run(
+        "e17_fault_drills",
+        Some(e17_fault_drills::SEED),
+        &tables,
+        &obs,
+    );
 }

@@ -1,7 +1,11 @@
-//! Prints the E6 generation-gain experiment tables (see DESIGN.md).
+//! Prints the E6 generation-gain experiment tables (see DESIGN.md) and emits an NDJSON run
+//! manifest (`RCS_OBS_MANIFEST` file, else stderr).
+
+use rcs_core::experiments::{self, e06_generation_gains};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e06_generation_gains::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e06_generation_gains::run();
+    experiments::finish_run("e06_generation_gains", None, &tables, &obs);
 }

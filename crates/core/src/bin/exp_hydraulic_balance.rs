@@ -1,7 +1,12 @@
-//! Prints the E8/F5 hydraulic-balancing experiment tables (see DESIGN.md).
+//! Prints the E8/F5 hydraulic-balancing experiment tables (see
+//! DESIGN.md) and emits an NDJSON run manifest (`RCS_OBS_MANIFEST`
+//! file, else stderr) carrying the manifold-solve telemetry.
+
+use rcs_core::experiments::{self, e08_hydraulic_balance};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e08_hydraulic_balance::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e08_hydraulic_balance::run_observed(&obs);
+    experiments::finish_run("e08_hydraulic_balance", None, &tables, &obs);
 }

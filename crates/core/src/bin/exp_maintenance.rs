@@ -1,7 +1,11 @@
-//! Prints the E15 serviceability tables (see DESIGN.md).
+//! Prints the E15 serviceability tables (see DESIGN.md) and emits an NDJSON run
+//! manifest (`RCS_OBS_MANIFEST` file, else stderr).
+
+use rcs_core::experiments::{self, e15_maintenance};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e15_maintenance::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e15_maintenance::run();
+    experiments::finish_run("e15_maintenance", None, &tables, &obs);
 }

@@ -1,7 +1,11 @@
-//! Prints the E7 rack-petaflops experiment tables (see DESIGN.md).
+//! Prints the E7 rack-petaflops experiment tables (see DESIGN.md) and emits an NDJSON run
+//! manifest (`RCS_OBS_MANIFEST` file, else stderr).
+
+use rcs_core::experiments::{self, e07_rack_pflops};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e07_rack_pflops::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e07_rack_pflops::run();
+    experiments::finish_run("e07_rack_pflops", None, &tables, &obs);
 }

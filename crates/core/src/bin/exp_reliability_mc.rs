@@ -1,7 +1,17 @@
-//! Prints the E12 reliability Monte-Carlo experiment tables (see DESIGN.md).
+//! Prints the E12 reliability Monte-Carlo experiment tables (see
+//! DESIGN.md) and emits an NDJSON run manifest (`RCS_OBS_MANIFEST`
+//! file, else stderr) carrying the `mc.*` trial/event telemetry.
+
+use rcs_core::experiments::{self, e12_reliability_mc};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e12_reliability_mc::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e12_reliability_mc::run_observed(&obs);
+    experiments::finish_run(
+        "e12_reliability_mc",
+        Some(e12_reliability_mc::SEED),
+        &tables,
+        &obs,
+    );
 }

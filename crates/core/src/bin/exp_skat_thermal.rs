@@ -1,7 +1,12 @@
-//! Prints the E5/F2 SKAT thermal experiment tables (see DESIGN.md).
+//! Prints the E5/F2 SKAT thermal experiment tables (see DESIGN.md) and
+//! emits an NDJSON run manifest (`RCS_OBS_MANIFEST` file, else stderr)
+//! carrying the steady-solve and warm-up telemetry.
+
+use rcs_core::experiments::{self, e05_skat_thermal};
+use rcs_obs::Registry;
 
 fn main() {
-    for table in rcs_core::experiments::e05_skat_thermal::run() {
-        print!("{table}");
-    }
+    let obs = Registry::new();
+    let tables = e05_skat_thermal::run_observed(&obs);
+    experiments::finish_run("e05_skat_thermal", None, &tables, &obs);
 }

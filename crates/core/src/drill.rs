@@ -25,6 +25,7 @@ use rcs_cooling::plausibility::{median_vote, ChannelLimits, ChannelStatus, Plaus
 use rcs_cooling::ImmersionBath;
 use rcs_devices::OperatingPoint;
 use rcs_numeric::rng::Rng;
+use rcs_obs::Registry;
 use rcs_platform::ComputeModule;
 use rcs_units::{Celsius, Power, Seconds, VolumeFlow};
 
@@ -158,6 +159,12 @@ pub struct HardenedSupervisor {
     agent: PlausibilityFilter,
     component: [PlausibilityFilter; COMPONENT_PROBES],
     worst_seen: ChannelHealth,
+    /// Scans where the component vote ran on fewer than
+    /// [`COMPONENT_PROBES`] live probes (but at least one).
+    votes_degraded: u64,
+    /// Scans where no probe was live and the vote fell back to held
+    /// last-good values.
+    vote_fallbacks: u64,
 }
 
 impl HardenedSupervisor {
@@ -177,6 +184,8 @@ impl HardenedSupervisor {
                 PlausibilityFilter::new(ChannelLimits::component_temperature_c())
             }),
             worst_seen: ChannelHealth::all_valid(),
+            votes_degraded: 0,
+            vote_fallbacks: 0,
         }
     }
 
@@ -184,6 +193,40 @@ impl HardenedSupervisor {
     #[must_use]
     pub fn channel_health(&self) -> ChannelHealth {
         self.worst_seen
+    }
+
+    /// Total implausible-but-delivered samples rejected across every
+    /// channel so far (range or rate check).
+    #[must_use]
+    pub fn plausibility_rejections(&self) -> u64 {
+        self.filters().map(PlausibilityFilter::rejected).sum()
+    }
+
+    /// Total dropouts (missing samples) across every channel so far.
+    #[must_use]
+    pub fn plausibility_dropouts(&self) -> u64 {
+        self.filters().map(PlausibilityFilter::dropouts).sum()
+    }
+
+    /// Scans where the component-temperature median vote ran on fewer
+    /// than [`COMPONENT_PROBES`] live probes (an override of at least
+    /// one probe, but a live quorum remained).
+    #[must_use]
+    pub fn votes_degraded(&self) -> u64 {
+        self.votes_degraded
+    }
+
+    /// Scans where no probe was live at all and the vote fell back to
+    /// held last-good values.
+    #[must_use]
+    pub fn vote_fallbacks(&self) -> u64 {
+        self.vote_fallbacks
+    }
+
+    fn filters(&self) -> impl Iterator<Item = &PlausibilityFilter> {
+        [&self.level, &self.flow, &self.agent]
+            .into_iter()
+            .chain(self.component.iter())
     }
 
     /// Filters one raw scan and evaluates the control thresholds on the
@@ -211,6 +254,12 @@ impl HardenedSupervisor {
                 ChannelStatus::Held => held[i] = sample.value,
                 ChannelStatus::Failed => {}
             }
+        }
+        let live_count = live.iter().flatten().count();
+        if live_count == 0 {
+            self.vote_fallbacks += 1;
+        } else if live_count < COMPONENT_PROBES {
+            self.votes_degraded += 1;
         }
         let component_c = median_vote(&live).or_else(|| median_vote(&held));
 
@@ -294,7 +343,27 @@ impl FaultDrill {
     /// two runs with equal-state RNGs are bit-identical.
     #[must_use]
     pub fn run(&self, rng: &mut Rng) -> DrillOutcome {
-        self.simulate(rng, true)
+        self.simulate(rng, true, Registry::disabled())
+    }
+
+    /// [`FaultDrill::run`] with telemetry recorded into `obs` — all
+    /// golden-channel integers (the drill's RNG noise is part of the
+    /// seeded trajectory, so every counter is a pure function of the
+    /// RNG state):
+    ///
+    /// - `drill.runs`, `drill.steps`, `drill.relinearizations`,
+    ///   `drill.solver_failures` — engine shape;
+    /// - `drill.alarm_transitions` (silent → alarming scans),
+    ///   `drill.throttle_actions`, `drill.shutdowns`,
+    ///   `drill.violation_steps` — supervision outcomes;
+    /// - `drill.plausibility.rejections` / `.dropouts` and
+    ///   `drill.median_vote.degraded` / `.fallbacks` — sensor-defense
+    ///   activity;
+    /// - plus the `immersion.*` / `hydraulics.*` counters of every
+    ///   baseline solve and relinearization.
+    #[must_use]
+    pub fn run_observed(&self, rng: &mut Rng, obs: &Registry) -> DrillOutcome {
+        self.simulate(rng, true, obs)
     }
 
     /// Runs the same physics with the supervisor disconnected (no
@@ -302,10 +371,18 @@ impl FaultDrill {
     /// check that supervised shutdowns land before hardware violations.
     #[must_use]
     pub fn run_open_loop(&self, rng: &mut Rng) -> DrillOutcome {
-        self.simulate(rng, false)
+        self.simulate(rng, false, Registry::disabled())
     }
 
-    fn simulate(&self, rng: &mut Rng, supervised: bool) -> DrillOutcome {
+    /// [`FaultDrill::run_open_loop`] with telemetry recorded into `obs`
+    /// (see [`FaultDrill::run_observed`] for the counters).
+    #[must_use]
+    pub fn run_open_loop_observed(&self, rng: &mut Rng, obs: &Registry) -> DrillOutcome {
+        self.simulate(rng, false, obs)
+    }
+
+    fn simulate(&self, rng: &mut Rng, supervised: bool, obs: &Registry) -> DrillOutcome {
+        obs.inc("drill.runs");
         let hardware_limit = self.control.component_limit;
         let mut outcome = DrillOutcome {
             name: self.name.clone(),
@@ -327,10 +404,11 @@ impl FaultDrill {
         // reference resistance.
         let baseline = match ImmersionModel::new(self.module.clone(), self.bath.clone())
             .with_operating_point(OperatingPoint::at_utilization(self.demand_utilization))
-            .solve_robust()
+            .solve_robust_observed(obs)
         {
             Ok(r) => r,
             Err(e) => {
+                obs.inc("drill.solver_failures");
                 outcome.solver_failure = Some(e.to_string());
                 return outcome;
             }
@@ -354,6 +432,7 @@ impl FaultDrill {
         let steps = (self.duration.seconds() / SCAN_DT.seconds()).ceil() as usize;
         let mut lin: Option<Linearization> = None;
         let mut lin_key: Option<LinKey> = None;
+        let mut alarming = false;
 
         for step in 0..steps {
             let t = Seconds::new(step as f64 * SCAN_DT.seconds());
@@ -365,12 +444,14 @@ impl FaultDrill {
             if step % RELINEARIZE_EVERY == 0 || lin.is_none() {
                 let key = LinKey::of(&state, utilization, powered);
                 if lin_key.as_ref() != Some(&key) {
-                    match self.linearize(&state, utilization, r_chip_baseline, chips) {
+                    obs.inc("drill.relinearizations");
+                    match self.linearize(&state, utilization, r_chip_baseline, chips, obs) {
                         Ok(l) => {
                             lin = Some(l);
                             lin_key = Some(key);
                         }
                         Err(e) => {
+                            obs.inc("drill.solver_failures");
                             outcome.solver_failure = Some(e.to_string());
                             break;
                         }
@@ -407,14 +488,20 @@ impl FaultDrill {
                 if !alarms.is_empty() && outcome.time_to_alarm.is_none() {
                     outcome.time_to_alarm = Some(t);
                 }
+                if !alarms.is_empty() && !alarming {
+                    obs.inc("drill.alarm_transitions");
+                }
+                alarming = !alarms.is_empty();
                 match action {
                     Action::EmergencyShutdown => {
                         powered = false;
                         outcome.shut_down = true;
                         outcome.time_to_shutdown = Some(t);
+                        obs.inc("drill.shutdowns");
                     }
                     Action::ThrottleLoad => {
                         utilization = (utilization - THROTTLE_STEP).max(UTILIZATION_FLOOR);
+                        obs.inc("drill.throttle_actions");
                     }
                     Action::None => {
                         utilization = (utilization + THROTTLE_STEP).min(self.demand_utilization);
@@ -453,6 +540,18 @@ impl FaultDrill {
         }
 
         outcome.channel_health = supervisor.channel_health();
+        obs.add("drill.steps", outcome.steps as u64);
+        obs.add("drill.violation_steps", outcome.violation_steps as u64);
+        obs.add(
+            "drill.plausibility.rejections",
+            supervisor.plausibility_rejections(),
+        );
+        obs.add(
+            "drill.plausibility.dropouts",
+            supervisor.plausibility_dropouts(),
+        );
+        obs.add("drill.median_vote.degraded", supervisor.votes_degraded());
+        obs.add("drill.median_vote.fallbacks", supervisor.vote_fallbacks());
         outcome
     }
 
@@ -467,6 +566,7 @@ impl FaultDrill {
         utilization: f64,
         r_chip_baseline: f64,
         chips: f64,
+        obs: &Registry,
     ) -> Result<Linearization, CoreError> {
         let degraded_bath = state.apply_to(&self.bath);
         let curves = state.pump_curves(&self.bath);
@@ -491,7 +591,7 @@ impl FaultDrill {
         if state.valve_opening < 1.0 {
             model = model.with_circulation_valve(state.valve_opening);
         }
-        let steady = model.solve_robust()?;
+        let steady = model.solve_robust_observed(obs)?;
 
         let bulk =
             Celsius::new(0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()));
@@ -728,6 +828,84 @@ mod tests {
         assert!(outcome.shut_down);
         assert!(outcome.time_to_alarm.unwrap() < outcome.time_to_shutdown.unwrap());
         assert!(outcome.clean());
+    }
+
+    #[test]
+    fn nominal_drill_telemetry_is_quiet_and_exact() {
+        let obs = Registry::new();
+        let outcome = nominal_drill().run_observed(&mut rng(), &obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("drill.runs"), 1);
+        assert_eq!(snap.counter("drill.steps"), outcome.steps as u64);
+        assert_eq!(snap.counter("drill.steps"), 300, "10 min at 2 s scans");
+        // a healthy plant with honest sensors defends against nothing
+        assert_eq!(snap.counter("drill.plausibility.rejections"), 0);
+        assert_eq!(snap.counter("drill.plausibility.dropouts"), 0);
+        assert_eq!(snap.counter("drill.median_vote.degraded"), 0);
+        assert_eq!(snap.counter("drill.alarm_transitions"), 0);
+        assert_eq!(snap.counter("drill.shutdowns"), 0);
+        assert_eq!(snap.counter("drill.violation_steps"), 0);
+        assert_eq!(snap.counter("drill.solver_failures"), 0);
+        // one baseline solve + one nominal-state relinearization
+        assert_eq!(snap.counter("drill.relinearizations"), 1);
+        assert_eq!(snap.counter("immersion.ladder.calls"), 2);
+        assert_eq!(snap.counter("immersion.ladder.escalations"), 0);
+    }
+
+    #[test]
+    fn sensor_storm_telemetry_counts_the_defenses() {
+        let timeline = FaultTimeline::new()
+            .with_event(
+                Seconds::minutes(3.0),
+                FaultKind::SensorFault {
+                    channel: SensorChannel::AgentTemperature,
+                    fault: SensorFault::StuckAt(45.0),
+                },
+            )
+            .with_event(
+                Seconds::minutes(5.0),
+                FaultKind::SensorFault {
+                    channel: SensorChannel::CoolantFlow,
+                    fault: SensorFault::Dropout,
+                },
+            );
+        let drill = FaultDrill::skat("sensor storm", timeline, Seconds::minutes(12.0));
+        let obs = Registry::new();
+        let outcome = drill.run_observed(&mut rng(), &obs);
+        let snap = obs.snapshot();
+        // the stuck agent channel is rejected scan after scan, and the
+        // flow dropout is a dropout per scan from minute 5 onward
+        assert!(snap.counter("drill.plausibility.rejections") > 0);
+        assert!(snap.counter("drill.plausibility.dropouts") > 0);
+        // all of it defended: no alarms, no shutdown, no violations
+        assert_eq!(snap.counter("drill.alarm_transitions"), 0);
+        assert_eq!(snap.counter("drill.shutdowns"), 0);
+        assert_eq!(snap.counter("drill.violation_steps"), 0);
+        assert!(outcome.clean());
+    }
+
+    #[test]
+    fn shutdown_drill_records_the_alarm_and_stop() {
+        let timeline = FaultTimeline::new()
+            .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+        let drill = FaultDrill::skat("pump seizure", timeline, Seconds::minutes(20.0));
+        let obs = Registry::new();
+        let outcome = drill.run_observed(&mut rng(), &obs);
+        assert!(outcome.shut_down);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("drill.shutdowns"), 1);
+        assert!(snap.counter("drill.alarm_transitions") >= 1);
+        assert_eq!(snap.counter("drill.violation_steps"), 0);
+    }
+
+    #[test]
+    fn observed_and_plain_drills_produce_identical_outcomes() {
+        let timeline = FaultTimeline::new()
+            .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+        let drill = FaultDrill::skat("parity", timeline, Seconds::minutes(8.0));
+        let plain = drill.run(&mut Rng::seed_from_u64(123));
+        let observed = drill.run_observed(&mut Rng::seed_from_u64(123), &Registry::new());
+        assert_eq!(plain, observed);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! 91 W (8736 W for the whole CM) … the maximum FPGA temperature during
 //! heat experiments did not exceed 55 °C."
 
+use rcs_obs::Registry;
 use rcs_units::Seconds;
 
 use super::Table;
@@ -14,8 +15,17 @@ use crate::ImmersionModel;
 /// Renders the steady-state comparison plus the Fig. 2 warm-up series.
 #[must_use]
 pub fn run() -> Vec<Table> {
+    run_observed(Registry::disabled())
+}
+
+/// [`run`] with solver telemetry recorded into `obs`: the steady solve
+/// and the warm-up integration both thread the registry down, so the
+/// manifest shows exactly how hard the prototype reproduction worked
+/// (`immersion.solve.*`, `hydraulics.ladder.*`, `thermal.transient.*`).
+#[must_use]
+pub fn run_observed(obs: &Registry) -> Vec<Table> {
     let model = ImmersionModel::skat();
-    let report = model.solve().expect("SKAT converges");
+    let report = model.solve_observed(obs).expect("SKAT converges");
 
     let steady = Table::new(
         "E5 — SKAT immersion heat test, paper vs model",
@@ -71,7 +81,7 @@ pub fn run() -> Vec<Table> {
     );
 
     let warmup = model
-        .warmup(Seconds::hours(2.0), Seconds::new(2.0))
+        .warmup_observed(Seconds::hours(2.0), Seconds::new(2.0), obs)
         .expect("warm-up integrates");
     let chip = warmup.chip_series();
     let bath = warmup.bath_series();
@@ -120,6 +130,30 @@ mod tests {
         for row in &tables[1].rows {
             assert_ne!(row[1], "NO", "{row:?}");
         }
+    }
+
+    #[test]
+    fn e5_converges_without_fallback_rung_escalations() {
+        let obs = Registry::new();
+        let tables = run_observed(&obs);
+        assert_eq!(tables.len(), 3);
+        let snap = obs.snapshot();
+        // the prototype reproduction converges on the default solver
+        // settings: every hydraulic solve succeeds at rung 0 and the
+        // steady picture never falls back to a damped retry
+        assert_eq!(snap.counter("hydraulics.ladder.escalations"), 0);
+        assert_eq!(snap.counter("hydraulics.ladder.unsolvable"), 0);
+        assert_eq!(snap.counter("immersion.solve.no_convergence"), 0);
+        // one direct steady solve plus the one embedded in the warm-up
+        assert_eq!(snap.counter("immersion.solve.calls"), 2);
+        assert_eq!(snap.counter("immersion.warmup.calls"), 1);
+        assert_eq!(snap.counter("thermal.transient.calls"), 1);
+        assert!(snap.counter("thermal.transient.steps") > 0);
+        // every circulation solve went through the observed ladder
+        assert_eq!(
+            snap.counter("hydraulics.ladder.calls"),
+            snap.counter("hydraulics.ladder.converged")
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use rcs_fluids::Coolant;
 use rcs_hydraulics::{balance, layout};
+use rcs_obs::Registry;
 use rcs_units::Celsius;
 
 use super::Table;
@@ -33,8 +34,11 @@ fn water() -> rcs_fluids::FluidState {
     Coolant::water().state(Celsius::new(20.0))
 }
 
-fn measure(plan: &layout::ManifoldPlan, label: &str) -> LayoutRow {
-    let sol = plan.network.solve(&water()).expect("manifold converges");
+fn measure(plan: &layout::ManifoldPlan, label: &str, obs: &Registry) -> LayoutRow {
+    let sol = plan
+        .network
+        .solve_observed(&water(), obs)
+        .expect("manifold converges");
     let flows = plan.loop_flows(&sol);
     LayoutRow {
         layout: label.to_owned(),
@@ -48,6 +52,15 @@ fn measure(plan: &layout::ManifoldPlan, label: &str) -> LayoutRow {
 /// auto-trimmed balancing valves, and reverse return.
 #[must_use]
 pub fn rows() -> Vec<LayoutRow> {
+    rows_observed(Registry::disabled())
+}
+
+/// [`rows`] with solver telemetry: the three measurement solves record
+/// `hydraulics.solve.*` counters into `obs` (the auto-trim iteration is
+/// deliberately unobserved — its solve count is an implementation detail
+/// of the valve-trimming search, not of the reported layouts).
+#[must_use]
+pub fn rows_observed(obs: &Registry) -> Vec<LayoutRow> {
     let direct = layout::rack_manifold(LOOPS, layout::ReturnStyle::Direct);
     let reverse = layout::rack_manifold(LOOPS, layout::ReturnStyle::Reverse);
     let params = layout::ManifoldParams {
@@ -58,9 +71,9 @@ pub fn rows() -> Vec<LayoutRow> {
     balance::auto_trim(&mut trimmed, &water(), 1.02, 60).expect("trim converges");
 
     vec![
-        measure(&direct, "direct return (no valves)"),
-        measure(&trimmed, "direct return + trimmed balancing valves"),
-        measure(&reverse, "reverse return (Fig. 5, no valves)"),
+        measure(&direct, "direct return (no valves)", obs),
+        measure(&trimmed, "direct return + trimmed balancing valves", obs),
+        measure(&reverse, "reverse return (Fig. 5, no valves)", obs),
     ]
 }
 
@@ -68,15 +81,31 @@ pub fn rows() -> Vec<LayoutRow> {
 /// layout before and after loop `failed` closes.
 #[must_use]
 pub fn failure_series(failed: usize) -> (Vec<f64>, Vec<f64>) {
+    failure_series_observed(failed, Registry::disabled())
+}
+
+/// [`failure_series`] with the two solves recorded into `obs`.
+#[must_use]
+pub fn failure_series_observed(failed: usize, obs: &Registry) -> (Vec<f64>, Vec<f64>) {
     let mut plan = layout::rack_manifold(LOOPS, layout::ReturnStyle::Reverse);
     let before = plan
-        .loop_flows(&plan.network.solve(&water()).expect("converges"))
+        .loop_flows(
+            &plan
+                .network
+                .solve_observed(&water(), obs)
+                .expect("converges"),
+        )
         .iter()
         .map(|q| q.as_liters_per_minute())
         .collect();
     plan.fail_loop(failed).expect("valid loop");
     let after = plan
-        .loop_flows(&plan.network.solve(&water()).expect("converges"))
+        .loop_flows(
+            &plan
+                .network
+                .solve_observed(&water(), obs)
+                .expect("converges"),
+        )
         .iter()
         .map(|q| q.as_liters_per_minute())
         .collect();
@@ -86,7 +115,13 @@ pub fn failure_series(failed: usize) -> (Vec<f64>, Vec<f64>) {
 /// Renders the experiment tables.
 #[must_use]
 pub fn run() -> Vec<Table> {
-    let data = rows();
+    run_observed(Registry::disabled())
+}
+
+/// [`run`] with every measurement solve recorded into `obs`.
+#[must_use]
+pub fn run_observed(obs: &Registry) -> Vec<Table> {
+    let data = rows_observed(obs);
     let mut headers: Vec<String> = vec!["layout".into()];
     headers.extend((0..LOOPS).map(|i| format!("loop {i} [L/min]")));
     headers.push("spread".into());
@@ -107,7 +142,7 @@ pub fn run() -> Vec<Table> {
             .collect(),
     );
 
-    let (before, after) = failure_series(2);
+    let (before, after) = failure_series_observed(2, obs);
     let mut rows_fail = vec![
         {
             let mut r = vec!["all loops running".to_owned()];
@@ -168,6 +203,23 @@ mod tests {
         let data = rows();
         let trimmed = &data[1];
         assert!(trimmed.spread < 1.05, "spread = {}", trimmed.spread);
+    }
+
+    #[test]
+    fn e8_measurement_solves_all_converge_first_try() {
+        let obs = Registry::new();
+        let tables = run_observed(&obs);
+        assert_eq!(tables.len(), 2);
+        let snap = obs.snapshot();
+        // three layout measurements + the before/after failure solves,
+        // every one a single-attempt convergence
+        assert_eq!(snap.counter("hydraulics.solve.calls"), 5);
+        assert_eq!(snap.counter("hydraulics.solve.converged"), 5);
+        assert_eq!(snap.counter("hydraulics.solve.stalled"), 0);
+        let iters = snap
+            .histogram("hydraulics.solve.iterations")
+            .expect("iteration histogram recorded");
+        assert_eq!(iters.total(), 5);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use rcs_cooling::{
     availability, risk, AirCooling, ColdPlateLoop, CoolingArchitecture, ImmersionBath,
 };
+use rcs_obs::Registry;
 
 use super::Table;
 
@@ -78,10 +79,47 @@ pub fn rows() -> Vec<ReliabilityRow> {
     })
 }
 
+/// [`rows`] with Monte-Carlo telemetry: every architecture's study runs
+/// in a per-item shard registry (via [`rcs_parallel::par_map_observed`])
+/// and records the `mc.*` counters — runs, trials, chunks, failure
+/// events, hardware losses — merged into `obs` in architecture order,
+/// so the snapshot is bit-identical at any `RCS_THREADS`.
+#[must_use]
+pub fn rows_observed(obs: &Registry) -> Vec<ReliabilityRow> {
+    let threads = rcs_parallel::thread_count();
+    rcs_parallel::par_map_observed(architectures(), threads, obs, |_, arch, shard| {
+        let classes = risk::failure_classes(&arch);
+        let mc = availability::monte_carlo_observed(
+            &classes,
+            HORIZON_YEARS,
+            TRIALS,
+            SEED,
+            threads,
+            shard,
+        );
+        ReliabilityRow {
+            architecture: label(&arch),
+            connections: arch.pressure_tight_connections(),
+            events_per_year: classes.iter().map(|c| c.rate_per_year).sum(),
+            downtime_hours_per_year: risk::expected_annual_downtime_hours(&classes),
+            availability: mc.mean_availability,
+            p05_availability: mc.p05_availability,
+            hardware_losses: mc.mean_hardware_losses,
+        }
+    })
+}
+
 /// Renders the experiment tables.
 #[must_use]
 pub fn run() -> Vec<Table> {
-    let data = rows();
+    run_observed(Registry::disabled())
+}
+
+/// [`run`] with the `mc.*` telemetry of every architecture recorded
+/// into `obs`.
+#[must_use]
+pub fn run_observed(obs: &Registry) -> Vec<Table> {
+    let data = rows_observed(obs);
     let table = Table::new(
         format!(
             "E12 — {HORIZON_YEARS:.0}-year Monte-Carlo availability ({TRIALS} trials, seed {SEED})"
@@ -138,5 +176,19 @@ mod tests {
     #[test]
     fn experiment_is_deterministic() {
         assert_eq!(rows(), rows());
+    }
+
+    #[test]
+    fn observed_rows_match_plain_and_count_every_trial() {
+        let obs = Registry::new();
+        let observed = rows_observed(&obs);
+        assert_eq!(observed, rows());
+        let snap = obs.snapshot();
+        let n = architectures().len() as u64;
+        assert_eq!(snap.counter("mc.runs"), n);
+        assert_eq!(snap.counter("mc.trials"), n * TRIALS as u64);
+        // 4000 trials in 64-trial chunks = 63 chunks per architecture
+        assert_eq!(snap.counter("mc.chunks"), n * 63);
+        assert!(snap.counter("mc.events") > 0);
     }
 }

@@ -15,6 +15,7 @@
 
 use rcs_cooling::faults::{FaultKind, FaultTimeline, SensorChannel, SensorFault};
 use rcs_numeric::rng::Rng;
+use rcs_obs::Registry;
 use rcs_units::Seconds;
 
 use super::Table;
@@ -150,6 +151,22 @@ pub fn rows_with_threads(threads: usize) -> Vec<DrillOutcome> {
     rcs_parallel::par_map_indexed(work, threads, |_, (drill, mut rng)| drill.run(&mut rng))
 }
 
+/// [`rows_with_threads`] with full drill telemetry: every matrix cell
+/// runs in a per-cell shard registry and its `drill.*` / `immersion.*` /
+/// `hydraulics.*` counters are merged into `obs` in matrix order. The
+/// merged snapshot is therefore exactly as thread-invariant as the
+/// outcome vector itself — the `telemetry_determinism` integration test
+/// pins that down.
+#[must_use]
+pub fn rows_with_threads_observed(threads: usize, obs: &Registry) -> Vec<DrillOutcome> {
+    let drills = cells();
+    let streams = Rng::seed_from_u64(SEED).split_streams(drills.len());
+    let work: Vec<(FaultDrill, Rng)> = drills.into_iter().zip(streams).collect();
+    rcs_parallel::par_map_observed(work, threads, obs, |_, (drill, mut rng), shard| {
+        drill.run_observed(&mut rng, shard)
+    })
+}
+
 fn fmt_time(t: Option<Seconds>) -> String {
     t.map_or_else(|| "—".to_owned(), |s| format!("{:.0} s", s.seconds()))
 }
@@ -157,7 +174,19 @@ fn fmt_time(t: Option<Seconds>) -> String {
 /// Renders the experiment table.
 #[must_use]
 pub fn run() -> Vec<Table> {
-    let data = rows();
+    render(&rows())
+}
+
+/// [`run`] with the matrix telemetry recorded into `obs`.
+#[must_use]
+pub fn run_observed(obs: &Registry) -> Vec<Table> {
+    render(&rows_with_threads_observed(
+        rcs_parallel::thread_count(),
+        obs,
+    ))
+}
+
+fn render(data: &[DrillOutcome]) -> Vec<Table> {
     let table = Table::new(
         format!(
             "E17 — fault drills, {DURATION_MIN:.0} min horizon, hardened supervisor (seed {SEED})"
@@ -248,6 +277,22 @@ mod tests {
                 assert!(!outcome.shut_down);
             }
         }
+    }
+
+    #[test]
+    fn observed_matrix_matches_plain_and_counts_every_cell() {
+        let obs = Registry::new();
+        let observed = rows_with_threads_observed(1, &obs);
+        assert_eq!(observed, rows_with_threads(1));
+        let snap = obs.snapshot();
+        let cells = 2 * drill_scripts().len() as u64;
+        assert_eq!(snap.counter("drill.runs"), cells);
+        assert_eq!(snap.counter("parallel.tasks"), cells);
+        // the supervised matrix never lets the plant over the ceiling
+        assert_eq!(snap.counter("drill.violation_steps"), 0);
+        assert_eq!(snap.counter("drill.solver_failures"), 0);
+        // the sensor-storm rows exercise the plausibility filters
+        assert!(snap.counter("drill.plausibility.rejections") > 0);
     }
 
     #[test]

@@ -12,12 +12,20 @@ use rcs_units::{
     Celsius, Length, Power, Seconds, TempDelta, ThermalCapacityRate, Velocity, VolumeFlow,
 };
 
+use rcs_obs::Registry;
+
 use crate::error::CoreError;
 use crate::report::SteadyReport;
 
 /// Electrical efficiency of the circulation pump drive (hydraulic power
 /// delivered per electrical watt).
 const PUMP_DRIVE_EFFICIENCY: f64 = 0.45;
+
+/// Outer fixed-point iteration histogram bounds (inclusive upper
+/// bounds, overflow bucket past the heaviest ladder budget).
+const ITER_BOUNDS: [u64; 7] = [5, 10, 20, 50, 120, 400, 1200];
+/// Coupled-ladder rung histogram bounds: rung 0 (default damping), 1, 2.
+const RUNG_BOUNDS: [u64; 3] = [0, 1, 2];
 
 /// The coupled model of one immersion-cooled computational module:
 /// hydraulic operating point → sink convection → ε-NTU heat exchange →
@@ -161,12 +169,29 @@ impl ImmersionModel {
     ///
     /// Propagates hydraulic solver failures.
     pub fn circulation(&self, oil_bulk: Celsius) -> Result<(VolumeFlow, Power), CoreError> {
+        self.circulation_observed(oil_bulk, Registry::disabled())
+    }
+
+    /// [`ImmersionModel::circulation`] with telemetry recorded into
+    /// `obs`: `immersion.circulation.calls` / `.stagnant` counters plus
+    /// the `hydraulics.ladder.*` counters of the inner network solve.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::circulation`].
+    pub fn circulation_observed(
+        &self,
+        oil_bulk: Celsius,
+        obs: &Registry,
+    ) -> Result<(VolumeFlow, Power), CoreError> {
+        obs.inc("immersion.circulation.calls");
         let pump_curves: Vec<PumpCurve> = match &self.pump_overrides {
             Some(curves) => curves.clone(),
             None => vec![self.bath.pump; self.bath.pump_count],
         };
         if pump_curves.is_empty() {
             // every pump seized: no driving head, the bath stagnates
+            obs.inc("immersion.circulation.stagnant");
             return Ok((VolumeFlow::ZERO, Power::ZERO));
         }
 
@@ -209,7 +234,9 @@ impl ImmersionModel {
         // retry ladder: bit-identical to a plain solve for healthy
         // networks, but deeply derated pump curves get the damped rungs
         // and, failing those, diagnostics naming the offending branch
-        let solution = net.solve_robust(&oil).map_err(CoreError::from)?;
+        let solution = net
+            .solve_robust_observed(&oil, obs)
+            .map_err(CoreError::from)?;
         let flow = solution.flow(bath_branch);
         let electrical =
             Power::from_watts(solution.total_pump_power().watts() / PUMP_DRIVE_EFFICIENCY);
@@ -224,7 +251,43 @@ impl ImmersionModel {
     /// (it converges in a handful of iterations for every physical
     /// configuration) and propagates substrate failures.
     pub fn solve(&self) -> Result<SteadyReport, CoreError> {
-        self.solve_damped(0.5, 120)
+        self.solve_observed(Registry::disabled())
+    }
+
+    /// [`ImmersionModel::solve`] with telemetry recorded into `obs` —
+    /// all golden-channel integers:
+    ///
+    /// - `immersion.solve.calls` / `.converged` / `.no_convergence` /
+    ///   `.error` counters;
+    /// - `immersion.solve.iterations` histogram of the outer fixed
+    ///   point on success;
+    /// - the `immersion.circulation.*` and `hydraulics.ladder.*`
+    ///   counters of every inner circulation solve.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::solve`].
+    pub fn solve_observed(&self, obs: &Registry) -> Result<SteadyReport, CoreError> {
+        obs.inc("immersion.solve.calls");
+        match self.solve_damped(0.5, 120, obs) {
+            Ok(report) => {
+                obs.inc("immersion.solve.converged");
+                obs.record_histogram(
+                    "immersion.solve.iterations",
+                    &ITER_BOUNDS,
+                    report.iterations as u64,
+                );
+                Ok(report)
+            }
+            Err(e @ CoreError::NoConvergence { .. }) => {
+                obs.inc("immersion.solve.no_convergence");
+                Err(e)
+            }
+            Err(e) => {
+                obs.inc("immersion.solve.error");
+                Err(e)
+            }
+        }
     }
 
     /// Solves through the coupled retry ladder: the default damping
@@ -239,18 +302,62 @@ impl ImmersionModel {
     /// As [`ImmersionModel::solve`]; substrate failures propagate
     /// immediately without retries.
     pub fn solve_robust(&self) -> Result<SteadyReport, CoreError> {
+        self.solve_robust_observed(Registry::disabled())
+    }
+
+    /// [`ImmersionModel::solve_robust`] with telemetry recorded into
+    /// `obs` — all golden-channel integers:
+    ///
+    /// - `immersion.ladder.calls` / `.converged` / `.no_convergence` /
+    ///   `.error` counters;
+    /// - `immersion.ladder.escalations` — damping rungs abandoned
+    ///   before convergence (0 for healthy configurations), i.e. the
+    ///   fallback count;
+    /// - `immersion.ladder.rung` histogram of the rung that converged
+    ///   and `immersion.ladder.iterations` of its outer fixed point;
+    /// - the `immersion.circulation.*` and `hydraulics.ladder.*`
+    ///   counters of every inner circulation solve (including the
+    ///   abandoned rungs — the residual trajectory of the whole
+    ///   attempt, not just the survivor).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::solve_robust`].
+    pub fn solve_robust_observed(&self, obs: &Registry) -> Result<SteadyReport, CoreError> {
         const LADDER: [(f64, usize); 3] = [(0.5, 120), (0.25, 400), (0.1, 1200)];
+        obs.inc("immersion.ladder.calls");
         let mut last = None;
-        for (damping, max_iter) in LADDER {
-            match self.solve_damped(damping, max_iter) {
+        for (rung, (damping, max_iter)) in LADDER.into_iter().enumerate() {
+            match self.solve_damped(damping, max_iter, obs) {
                 Err(e @ CoreError::NoConvergence { .. }) => last = Some(e),
-                other => return other,
+                Ok(report) => {
+                    obs.inc("immersion.ladder.converged");
+                    obs.add("immersion.ladder.escalations", rung as u64);
+                    obs.record_histogram("immersion.ladder.rung", &RUNG_BOUNDS, rung as u64);
+                    obs.record_histogram(
+                        "immersion.ladder.iterations",
+                        &ITER_BOUNDS,
+                        report.iterations as u64,
+                    );
+                    return Ok(report);
+                }
+                Err(e) => {
+                    obs.inc("immersion.ladder.error");
+                    return Err(e);
+                }
             }
         }
+        obs.inc("immersion.ladder.no_convergence");
+        obs.add("immersion.ladder.escalations", (LADDER.len() - 1) as u64);
         Err(last.expect("ladder has at least one rung"))
     }
 
-    fn solve_damped(&self, damping: f64, max_iter: usize) -> Result<SteadyReport, CoreError> {
+    fn solve_damped(
+        &self,
+        damping: f64,
+        max_iter: usize,
+        obs: &Registry,
+    ) -> Result<SteadyReport, CoreError> {
         let model = PowerModel::for_part(self.module.ccb().part());
         let stack = self.chip_stack();
 
@@ -267,7 +374,7 @@ impl ImmersionModel {
         for iter in 0..max_iter {
             iterations = iter + 1;
             let oil_bulk = Celsius::new(0.5 * (oil_hot.degrees() + oil_cold.degrees()));
-            let (q, p_elec) = self.circulation(oil_bulk)?;
+            let (q, p_elec) = self.circulation_observed(oil_bulk, obs)?;
             flow = q;
             pump_electrical = p_elec;
             velocity = self.bath.approach_velocity(flow);
@@ -403,9 +510,27 @@ impl ImmersionModel {
     ///
     /// Propagates substrate failures.
     pub fn warmup(&self, duration: Seconds, step: Seconds) -> Result<WarmupTrace, CoreError> {
+        self.warmup_observed(duration, step, Registry::disabled())
+    }
+
+    /// [`ImmersionModel::warmup`] with telemetry recorded into `obs`:
+    /// an `immersion.warmup.calls` counter plus the counters of the
+    /// embedded steady solve (`immersion.solve.*`) and transient
+    /// integration (`thermal.transient.*`).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::warmup`].
+    pub fn warmup_observed(
+        &self,
+        duration: Seconds,
+        step: Seconds,
+        obs: &Registry,
+    ) -> Result<WarmupTrace, CoreError> {
+        obs.inc("immersion.warmup.calls");
         // Freeze the convection operating point at the solved steady state
         // so the transient uses consistent resistances.
-        let steady = self.solve()?;
+        let steady = self.solve_observed(obs)?;
         let oil_state = self.bath.coolant.state(Celsius::new(
             0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()),
         ));
@@ -444,7 +569,8 @@ impl ImmersionModel {
             steady.total_heat - self.module.fpga_heat(self.op, steady.junction),
         )?;
 
-        let trace = net.solve_transient(self.bath.chiller.setpoint(), duration, step)?;
+        let trace =
+            net.solve_transient_observed(self.bath.chiller.setpoint(), duration, step, obs)?;
         Ok(WarmupTrace {
             trace,
             chip_node,
@@ -624,6 +750,68 @@ mod tests {
         assert!((hottest.degrees() - steady.junction.degrees()).abs() < 3.0);
         // and the first chip is visibly cooler
         assert!((hottest - profile[0].1).kelvins() > 0.3);
+    }
+
+    #[test]
+    fn healthy_skat_solve_records_rung_zero_telemetry() {
+        let obs = Registry::new();
+        let report = ImmersionModel::skat().solve_robust_observed(&obs).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("immersion.ladder.calls"), 1);
+        assert_eq!(snap.counter("immersion.ladder.converged"), 1);
+        assert_eq!(snap.counter("immersion.ladder.escalations"), 0);
+        let rung = snap.histogram("immersion.ladder.rung").unwrap();
+        assert_eq!(rung.counts, vec![1, 0, 0, 0], "healthy SKAT uses rung 0");
+        // every outer iteration ran one circulation solve, and every one
+        // of those converged on the hydraulic ladder's first rung
+        assert_eq!(
+            snap.counter("immersion.circulation.calls"),
+            report.iterations as u64
+        );
+        assert_eq!(
+            snap.counter("hydraulics.ladder.converged"),
+            report.iterations as u64
+        );
+        assert_eq!(snap.counter("hydraulics.ladder.escalations"), 0);
+    }
+
+    #[test]
+    fn observed_and_plain_solves_agree_exactly() {
+        let plain = ImmersionModel::skat().solve_robust().unwrap();
+        let observed = ImmersionModel::skat()
+            .solve_robust_observed(&Registry::new())
+            .unwrap();
+        assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn stagnant_bath_records_stagnation_not_hydraulics() {
+        let obs = Registry::new();
+        let model = ImmersionModel::skat().with_pump_curves(Vec::new());
+        let (flow, power) = model
+            .circulation_observed(Celsius::new(30.0), &obs)
+            .unwrap();
+        assert_eq!(flow, VolumeFlow::ZERO);
+        assert_eq!(power, Power::ZERO);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("immersion.circulation.stagnant"), 1);
+        assert_eq!(snap.counter("hydraulics.ladder.calls"), 0);
+    }
+
+    #[test]
+    fn warmup_telemetry_spans_the_solver_and_the_transient() {
+        let obs = Registry::new();
+        let trace = ImmersionModel::skat()
+            .warmup_observed(Seconds::hours(1.0), Seconds::new(2.0), &obs)
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("immersion.warmup.calls"), 1);
+        assert_eq!(snap.counter("immersion.solve.calls"), 1);
+        assert_eq!(snap.counter("thermal.transient.calls"), 1);
+        assert_eq!(
+            snap.counter("thermal.transient.steps"),
+            trace.trace().len() as u64
+        );
     }
 
     #[test]

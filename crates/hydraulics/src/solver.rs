@@ -19,6 +19,7 @@
 
 use rcs_fluids::FluidState;
 use rcs_numeric::Matrix;
+use rcs_obs::{residual_decade, Registry};
 use rcs_units::VolumeFlow;
 
 use crate::error::{ConvergenceDiagnostics, HydraulicError, SolveAttempt};
@@ -74,6 +75,15 @@ impl SolveOptions {
     }
 }
 
+/// Iteration-count histogram bounds shared by all solver telemetry
+/// (inclusive upper bounds; the overflow bucket catches anything past
+/// the heaviest ladder budget).
+const ITER_BOUNDS: [u64; 7] = [5, 10, 20, 50, 200, 500, 1500];
+/// Ladder-rung histogram bounds: rung index 0 (default options), 1, 2.
+const RUNG_BOUNDS: [u64; 3] = [0, 1, 2];
+/// Residual-decade histogram bounds (see [`rcs_obs::residual_decade`]).
+const DECADE_BOUNDS: [u64; 4] = [3, 6, 9, 12];
+
 /// Where a failed attempt left off — enough to build the diagnostics.
 struct SolveFailure {
     iterations: usize,
@@ -99,6 +109,20 @@ impl HydraulicNetwork {
         self.solve_with(fluid, &SolveOptions::default())
     }
 
+    /// [`HydraulicNetwork::solve`] with telemetry recorded into `obs`
+    /// (see [`HydraulicNetwork::solve_with_observed`] for the counters).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_observed(
+        &self,
+        fluid: &FluidState,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_observed(fluid, &SolveOptions::default(), obs)
+    }
+
     /// Solves with explicit damping/budget options.
     ///
     /// # Errors
@@ -109,13 +133,54 @@ impl HydraulicNetwork {
         fluid: &FluidState,
         opts: &SolveOptions,
     ) -> Result<HydraulicSolution, HydraulicError> {
-        self.solve_inner(fluid, opts).map_err(|e| match e {
-            InnerError::Stalled(fail) => HydraulicError::NoConvergence {
-                iterations: fail.iterations,
-                residual: fail.residual,
-            },
-            InnerError::Other(err) => err,
-        })
+        self.solve_with_observed(fluid, opts, Registry::disabled())
+    }
+
+    /// [`HydraulicNetwork::solve_with`] with telemetry recorded into
+    /// `obs` — all golden-channel integers:
+    ///
+    /// - `hydraulics.solve.calls` / `.converged` / `.stalled` counters;
+    /// - `hydraulics.solve.iterations` histogram on success;
+    /// - `hydraulics.solve.residual_decade` histogram of the converged
+    ///   residual's decade.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_with_observed(
+        &self,
+        fluid: &FluidState,
+        opts: &SolveOptions,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        obs.inc("hydraulics.solve.calls");
+        match self.solve_inner(fluid, opts) {
+            Ok(solution) => {
+                obs.inc("hydraulics.solve.converged");
+                obs.record_histogram(
+                    "hydraulics.solve.iterations",
+                    &ITER_BOUNDS,
+                    solution.iterations() as u64,
+                );
+                obs.record_histogram(
+                    "hydraulics.solve.residual_decade",
+                    &DECADE_BOUNDS,
+                    residual_decade(solution.worst_residual_m3s()),
+                );
+                Ok(solution)
+            }
+            Err(InnerError::Stalled(fail)) => {
+                obs.inc("hydraulics.solve.stalled");
+                Err(HydraulicError::NoConvergence {
+                    iterations: fail.iterations,
+                    residual: fail.residual,
+                })
+            }
+            Err(InnerError::Other(err)) => {
+                obs.inc("hydraulics.solve.error");
+                Err(err)
+            }
+        }
     }
 
     /// Solves through the retry ladder: default options first, then two
@@ -134,6 +199,20 @@ impl HydraulicNetwork {
         self.solve_with_ladder(fluid, &SolveOptions::ladder())
     }
 
+    /// [`HydraulicNetwork::solve_robust`] with telemetry recorded into
+    /// `obs` (see [`HydraulicNetwork::solve_with_ladder_observed`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_robust`].
+    pub fn solve_robust_observed(
+        &self,
+        fluid: &FluidState,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_observed(fluid, &SolveOptions::ladder(), obs)
+    }
+
     /// Solves through an explicit retry ladder (see
     /// [`HydraulicNetwork::solve_robust`] for the default rungs).
     ///
@@ -147,6 +226,32 @@ impl HydraulicNetwork {
         fluid: &FluidState,
         rungs: &[SolveOptions],
     ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_observed(fluid, rungs, Registry::disabled())
+    }
+
+    /// [`HydraulicNetwork::solve_with_ladder`] with telemetry recorded
+    /// into `obs` — all golden-channel integers:
+    ///
+    /// - `hydraulics.ladder.calls` / `.converged` / `.unsolvable`
+    ///   counters;
+    /// - `hydraulics.ladder.escalations` — how many rungs had to be
+    ///   abandoned before convergence (0 on a healthy network), i.e.
+    ///   the fallback count;
+    /// - `hydraulics.ladder.rung` histogram of the rung that converged;
+    /// - `hydraulics.ladder.iterations` and
+    ///   `hydraulics.ladder.residual_decade` histograms of the
+    ///   successful attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_with_ladder`].
+    pub fn solve_with_ladder_observed(
+        &self,
+        fluid: &FluidState,
+        rungs: &[SolveOptions],
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        obs.inc("hydraulics.ladder.calls");
         if rungs.is_empty() {
             return Err(HydraulicError::NonPositiveParameter {
                 parameter: "retry ladder rung count",
@@ -154,9 +259,24 @@ impl HydraulicNetwork {
         }
         let mut attempts = Vec::new();
         let mut last_failure: Option<SolveFailure> = None;
-        for opts in rungs {
+        for (rung, opts) in rungs.iter().enumerate() {
             match self.solve_inner(fluid, opts) {
-                Ok(solution) => return Ok(solution),
+                Ok(solution) => {
+                    obs.inc("hydraulics.ladder.converged");
+                    obs.add("hydraulics.ladder.escalations", rung as u64);
+                    obs.record_histogram("hydraulics.ladder.rung", &RUNG_BOUNDS, rung as u64);
+                    obs.record_histogram(
+                        "hydraulics.ladder.iterations",
+                        &ITER_BOUNDS,
+                        solution.iterations() as u64,
+                    );
+                    obs.record_histogram(
+                        "hydraulics.ladder.residual_decade",
+                        &DECADE_BOUNDS,
+                        residual_decade(solution.worst_residual_m3s()),
+                    );
+                    return Ok(solution);
+                }
                 Err(InnerError::Stalled(fail)) => {
                     attempts.push(SolveAttempt {
                         relax: opts.relax,
@@ -165,10 +285,15 @@ impl HydraulicNetwork {
                     });
                     last_failure = Some(fail);
                 }
-                Err(InnerError::Other(err)) => return Err(err),
+                Err(InnerError::Other(err)) => {
+                    obs.inc("hydraulics.ladder.error");
+                    return Err(err);
+                }
             }
         }
         let fail = last_failure.expect("ladder has at least one rung");
+        obs.inc("hydraulics.ladder.unsolvable");
+        obs.add("hydraulics.ladder.escalations", (rungs.len() - 1) as u64);
         Err(HydraulicError::Unsolvable {
             diagnostics: ConvergenceDiagnostics {
                 attempts,
@@ -582,6 +707,108 @@ mod tests {
             net.solve_with_ladder(&water(), &[]),
             Err(HydraulicError::NonPositiveParameter { .. })
         ));
+    }
+
+    #[test]
+    fn healthy_ladder_solve_records_rung_zero_and_no_escalations() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let obs = Registry::new();
+        let sol = net.solve_robust_observed(&water(), &obs).unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hydraulics.ladder.calls"), 1);
+        assert_eq!(snap.counter("hydraulics.ladder.converged"), 1);
+        assert_eq!(snap.counter("hydraulics.ladder.escalations"), 0);
+        assert_eq!(snap.counter("hydraulics.ladder.unsolvable"), 0);
+        let rung = snap.histogram("hydraulics.ladder.rung").unwrap();
+        assert_eq!(rung.counts, vec![1, 0, 0, 0], "healthy nets use rung 0");
+        let iters = snap.histogram("hydraulics.ladder.iterations").unwrap();
+        assert_eq!(iters.total(), 1);
+        // the recorded iteration bucket matches the solution's count
+        assert!(sol.iterations() > 0);
+    }
+
+    #[test]
+    fn starved_first_rung_records_one_escalation() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let obs = Registry::new();
+        let rungs = [SolveOptions::damped(0.7, 1), SolveOptions::default()];
+        net.solve_with_ladder_observed(&water(), &rungs, &obs)
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hydraulics.ladder.escalations"), 1);
+        let rung = snap.histogram("hydraulics.ladder.rung").unwrap();
+        assert_eq!(rung.counts, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn exhausted_ladder_records_unsolvable_telemetry() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let obs = Registry::new();
+        let rungs = [SolveOptions::damped(0.7, 1), SolveOptions::damped(0.3, 2)];
+        let _ = net
+            .solve_with_ladder_observed(&water(), &rungs, &obs)
+            .unwrap_err();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hydraulics.ladder.converged"), 0);
+        assert_eq!(snap.counter("hydraulics.ladder.unsolvable"), 1);
+        assert_eq!(snap.counter("hydraulics.ladder.escalations"), 1);
+        assert!(snap.histogram("hydraulics.ladder.rung").is_none());
+    }
+
+    #[test]
+    fn single_attempt_telemetry_counts_calls_and_outcomes() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let obs = Registry::new();
+        net.solve_observed(&water(), &obs).unwrap();
+        let _ = net
+            .solve_with_observed(&water(), &SolveOptions::damped(0.7, 1), &obs)
+            .unwrap_err();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hydraulics.solve.calls"), 2);
+        assert_eq!(snap.counter("hydraulics.solve.converged"), 1);
+        assert_eq!(snap.counter("hydraulics.solve.stalled"), 1);
+        let decades = snap.histogram("hydraulics.solve.residual_decade").unwrap();
+        assert_eq!(
+            decades.total(),
+            1,
+            "only the converged attempt records a residual"
+        );
+    }
+
+    #[test]
+    fn observed_and_plain_solves_produce_identical_solutions() {
+        let mut net = HydraulicNetwork::new();
+        let s = net.add_junction("supply");
+        let r = net.add_junction("return");
+        let b1 = net.add_branch("short", s, r, vec![pipe(5.0)]).unwrap();
+        let b2 = net.add_branch("long", s, r, vec![pipe(40.0)]).unwrap();
+        net.add_branch("pump", r, s, vec![pump()]).unwrap();
+        let obs = Registry::new();
+        let plain = net.solve_robust(&water()).unwrap();
+        let observed = net.solve_robust_observed(&water(), &obs).unwrap();
+        for b in [b1, b2] {
+            assert_eq!(
+                plain.flow(b).cubic_meters_per_second(),
+                observed.flow(b).cubic_meters_per_second()
+            );
+        }
+        assert_eq!(plain.iterations(), observed.iterations());
     }
 
     #[test]

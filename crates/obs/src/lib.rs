@@ -1,0 +1,552 @@
+//! Deterministic telemetry for the `rcs-sim` workspace.
+//!
+//! Every quantitative figure in this reproduction is a pure function of
+//! a `u64` seed at any `RCS_THREADS` setting — and a solver can still
+//! silently drift to a different damping rung or iteration count while
+//! its *outputs* stay inside golden tolerances. This crate makes the
+//! solvers' behaviour itself testable by splitting telemetry into two
+//! channels with different contracts:
+//!
+//! - the **golden channel** — monotonic [`Registry::add`] counters and
+//!   fixed-bucket [`Registry::record_histogram`] histograms of integer
+//!   observations (iteration counts, damping-rung indices, rejection
+//!   counts, residual decades). Everything here must be **bit-identical
+//!   at every thread count**: counter merges are integer additions,
+//!   which commute, and parallel stages collect per-task snapshots and
+//!   [`Registry::absorb`] them in **input order**, so scheduling can
+//!   never reorder an observable. [`Registry::snapshot`] captures only
+//!   this channel, and the counter-asserting regression tests compare
+//!   snapshots directly.
+//! - the **non-golden channel** — wall-clock [`Span`] durations and
+//!   scheduling-dependent [`Registry::note`] gauges (worker counts,
+//!   per-worker task tallies). These appear in the run manifest for
+//!   operators but are excluded from [`Snapshot`] equality and from the
+//!   CI counter diff, because they legitimately vary run to run.
+//!
+//! A [`Span`] straddles both: its *count* is golden (how many times the
+//! scope ran is deterministic), its *duration* is not.
+//!
+//! The [`manifest`] module renders a registry into the NDJSON run
+//! manifest every experiment binary emits (seed, thread count, model
+//! version, counter snapshot).
+//!
+//! # Examples
+//!
+//! ```
+//! use rcs_obs::Registry;
+//!
+//! let obs = Registry::new();
+//! obs.inc("solver.calls");
+//! obs.record_histogram("solver.iterations", &[5, 10, 50], 7);
+//! {
+//!     let _span = obs.span("solver.total");
+//! } // span count is golden, its wall-clock duration is not
+//!
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("solver.calls"), 1);
+//! assert_eq!(snap.counter("solver.total"), 1);
+//! assert_eq!(snap.histogram("solver.iterations").unwrap().counts, [0, 1, 0, 0]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub mod manifest;
+
+/// Aggregated state behind the registry mutex. `BTreeMap` keeps every
+/// iteration (snapshots, manifests) in sorted name order, so rendered
+/// telemetry never depends on insertion order.
+#[derive(Debug, Default)]
+struct Inner {
+    /// Golden: monotonic counters.
+    counters: BTreeMap<String, u64>,
+    /// Golden: fixed-bucket histograms.
+    histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Non-golden: wall-clock span durations.
+    timings: BTreeMap<String, TimingStat>,
+    /// Non-golden: scheduling-dependent gauges.
+    notes: BTreeMap<String, u64>,
+}
+
+/// Accumulated wall-clock time of one span name (non-golden channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimingStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across them.
+    pub total_nanos: u128,
+}
+
+/// A deterministic telemetry sink.
+///
+/// `Registry` is `Sync`: concurrent workers may record into one shared
+/// registry directly (golden merges are commutative integer additions),
+/// or stages may give each task its own registry and [`absorb`] the
+/// snapshots in input order — the contract the parallel layer uses.
+///
+/// [`absorb`]: Registry::absorb
+#[derive(Debug)]
+pub struct Registry {
+    enabled: bool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared disabled sink behind [`Registry::disabled`].
+static DISABLED: Registry = Registry {
+    enabled: false,
+    inner: Mutex::new(Inner {
+        counters: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        timings: BTreeMap::new(),
+        notes: BTreeMap::new(),
+    }),
+};
+
+impl Registry {
+    /// Creates an empty, enabled registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The shared no-op sink: every record call returns immediately, so
+    /// un-observed entry points (`solve_robust`, `run`, …) pay one
+    /// branch and nothing else.
+    #[must_use]
+    pub fn disabled() -> &'static Registry {
+        &DISABLED
+    }
+
+    /// `true` unless this is the [`Registry::disabled`] sink.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("telemetry registry poisoned")
+    }
+
+    /// Adds `n` to the golden counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the golden counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records one observation into the fixed-bucket histogram `name`.
+    ///
+    /// `bounds` are inclusive upper bucket bounds in ascending order; an
+    /// observation lands in the first bucket whose bound it does not
+    /// exceed, or in the implicit overflow bucket past the last bound
+    /// (so the histogram has `bounds.len() + 1` counts). The bounds are
+    /// part of the histogram's identity: they are fixed at first use and
+    /// every later call must pass the same slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending, or if the
+    /// histogram was first recorded with different bounds.
+    pub fn record_histogram(&self, name: &str, bounds: &[u64], value: u64) {
+        if !self.enabled {
+            return;
+        }
+        assert!(!bounds.is_empty(), "histogram {name} needs buckets");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name} bounds must be strictly ascending"
+        );
+        let mut inner = self.lock();
+        let hist = inner
+            .histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| HistogramSnapshot {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+            });
+        assert_eq!(
+            hist.bounds, bounds,
+            "histogram {name} re-recorded with different bounds"
+        );
+        let bucket = bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(bounds.len());
+        hist.counts[bucket] += 1;
+    }
+
+    /// Adds `n` to the **non-golden** gauge `name` — for values that
+    /// legitimately depend on scheduling or the machine (worker counts,
+    /// per-worker task tallies). Notes appear in the manifest but never
+    /// in [`Registry::snapshot`].
+    pub fn note(&self, name: &str, n: u64) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.notes.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Opens a wall-clock span. Dropping the guard increments the golden
+    /// counter `name` and adds the elapsed time to the non-golden timing
+    /// channel under the same name.
+    #[must_use]
+    pub fn span<'a>(&'a self, name: &str) -> Span<'a> {
+        Span {
+            registry: self,
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records a finished span (used by [`Span::drop`]; public so code
+    /// that already measured a duration can feed it in).
+    pub fn record_span(&self, name: &str, nanos: u128) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += 1;
+        let t = inner.timings.entry(name.to_owned()).or_default();
+        t.count += 1;
+        t.total_nanos += nanos;
+    }
+
+    /// Captures the golden channel: all counters and histograms, in
+    /// sorted name order. Two runs of the same seeded workload must
+    /// produce `==` snapshots at any thread count.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Captures the non-golden timing channel (span durations), in
+    /// sorted name order.
+    #[must_use]
+    pub fn timings(&self) -> Vec<(String, TimingStat)> {
+        self.lock()
+            .timings
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Captures the non-golden note gauges, in sorted name order.
+    #[must_use]
+    pub fn notes(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .notes
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Merges a golden snapshot into this registry: counters add,
+    /// histogram bucket counts add (bounds must match).
+    ///
+    /// Parallel stages use this as the shard-merge step: each task
+    /// records into its own registry, the pool returns the per-task
+    /// snapshots **in input order**, and the caller absorbs them in that
+    /// fixed order — so the merged registry is independent of which
+    /// worker ran what when.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name collides with different bounds.
+    pub fn absorb(&self, snapshot: &Snapshot) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        for (name, v) in &snapshot.counters {
+            *inner.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, hist) in &snapshot.histograms {
+            let target =
+                inner
+                    .histograms
+                    .entry(name.clone())
+                    .or_insert_with(|| HistogramSnapshot {
+                        bounds: hist.bounds.clone(),
+                        counts: vec![0; hist.counts.len()],
+                    });
+            assert_eq!(
+                target.bounds, hist.bounds,
+                "histogram {name} absorbed with different bounds"
+            );
+            for (t, s) in target.counts.iter_mut().zip(&hist.counts) {
+                *t += s;
+            }
+        }
+    }
+}
+
+/// RAII guard returned by [`Registry::span`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.registry
+            .record_span(&self.name, self.started.elapsed().as_nanos());
+    }
+}
+
+/// One histogram's state: inclusive upper bucket bounds plus counts
+/// (one extra overflow bucket past the last bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// A captured golden channel: the thing the regression tests compare
+/// and the manifest serializes. Entries are in sorted name order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, histogram)` pairs.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name`, zero if it was never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// The histogram `name`, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    /// `true` if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// The decade of a solver residual as a histogram-ready integer:
+/// `residual_decade(r)` is `floor(-log10(r))` clamped into `[0, 16]`
+/// (so `1e-9 → 9`). An exactly-zero or negative residual means
+/// "converged past every bucket" and maps to 16; an infinite or NaN
+/// residual means divergence and maps to 0, the worst bucket.
+/// Residuals are deterministic floats, so their decade is a
+/// deterministic integer: the golden channel can summarize a residual
+/// trajectory without ever storing a float.
+#[must_use]
+pub fn residual_decade(residual: f64) -> u64 {
+    if residual.is_nan() || residual.is_infinite() {
+        return 0;
+    }
+    if residual <= 0.0 {
+        return 16;
+    }
+    // the epsilon absorbs log10 rounding at exact powers of ten
+    // (-log10(1e-9) can land a hair below 9.0); it is the same constant
+    // on every run, so the bucketing stays deterministic
+    let decade = -residual.log10() + 1e-9;
+    if decade < 0.0 {
+        0
+    } else {
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let d = decade.floor() as u64;
+        d.min(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_sorted() {
+        let obs = Registry::new();
+        obs.inc("z.last");
+        obs.add("a.first", 3);
+        obs.inc("a.first");
+        let snap = obs.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a.first".to_owned(), 4), ("z.last".to_owned(), 1)]
+        );
+        assert_eq!(snap.counter("a.first"), 4);
+        assert_eq!(snap.counter("never"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_upper_bounds_with_overflow() {
+        let obs = Registry::new();
+        for v in [0, 5, 6, 50, 51, 1000] {
+            obs.record_histogram("h", &[5, 50], v);
+        }
+        let snap = obs.snapshot();
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.bounds, vec![5, 50]);
+        assert_eq!(h.counts, vec![2, 2, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_are_fixed_at_first_use() {
+        let obs = Registry::new();
+        obs.record_histogram("h", &[5, 50], 1);
+        obs.record_histogram("h", &[5, 51], 1);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let obs = Registry::disabled();
+        obs.inc("c");
+        obs.record_histogram("h", &[1], 0);
+        obs.note("n", 1);
+        {
+            let _span = obs.span("s");
+        }
+        assert!(!obs.is_enabled());
+        assert!(obs.snapshot().is_empty());
+        assert!(obs.timings().is_empty());
+        assert!(obs.notes().is_empty());
+    }
+
+    #[test]
+    fn spans_count_golden_and_time_non_golden() {
+        let obs = Registry::new();
+        {
+            let _a = obs.span("scope");
+        }
+        {
+            let _b = obs.span("scope");
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("scope"), 2);
+        let timings = obs.timings();
+        assert_eq!(timings.len(), 1);
+        assert_eq!(timings[0].0, "scope");
+        assert_eq!(timings[0].1.count, 2);
+        // durations live outside the snapshot: two registries with
+        // different wall-clock histories still compare equal
+        let other = Registry::new();
+        other.record_span("scope", 999_999_999);
+        other.record_span("scope", 1);
+        assert_eq!(other.snapshot(), snap);
+    }
+
+    #[test]
+    fn notes_stay_out_of_the_golden_snapshot() {
+        let obs = Registry::new();
+        obs.note("workers", 7);
+        assert!(obs.snapshot().is_empty());
+        assert_eq!(obs.notes(), vec![("workers".to_owned(), 7)]);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_histograms_additively() {
+        let shard_a = Registry::new();
+        shard_a.add("c", 2);
+        shard_a.record_histogram("h", &[10], 3);
+        let shard_b = Registry::new();
+        shard_b.add("c", 5);
+        shard_b.record_histogram("h", &[10], 30);
+
+        let total = Registry::new();
+        total.absorb(&shard_a.snapshot());
+        total.absorb(&shard_b.snapshot());
+        let snap = total.snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.histogram("h").unwrap().counts, vec![1, 1]);
+
+        // merge order cannot matter: integer additions commute
+        let reversed = Registry::new();
+        reversed.absorb(&shard_b.snapshot());
+        reversed.absorb(&shard_a.snapshot());
+        assert_eq!(reversed.snapshot(), snap);
+    }
+
+    #[test]
+    fn concurrent_recording_is_deterministic() {
+        let obs = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        obs.inc("hits");
+                        obs.record_histogram("vals", &[10], 5);
+                    }
+                });
+            }
+        });
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hits"), 4000);
+        assert_eq!(snap.histogram("vals").unwrap().counts, vec![4000, 0]);
+    }
+
+    #[test]
+    fn residual_decades() {
+        assert_eq!(residual_decade(1e-9), 9);
+        assert_eq!(residual_decade(0.5), 0);
+        assert_eq!(residual_decade(2.0), 0);
+        assert_eq!(residual_decade(1e-30), 16);
+        assert_eq!(residual_decade(0.0), 16);
+        assert_eq!(residual_decade(f64::NAN), 0);
+        assert_eq!(residual_decade(f64::NEG_INFINITY), 0);
+        assert_eq!(residual_decade(-1.0), 16);
+        assert_eq!(residual_decade(f64::INFINITY), 0);
+    }
+}

@@ -39,6 +39,8 @@ use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::Mutex;
 
+use rcs_obs::Registry;
+
 /// Environment variable overriding the worker count (`thread_count`).
 pub const THREADS_ENV: &str = "RCS_THREADS";
 
@@ -116,7 +118,21 @@ where
             .collect();
     }
 
-    let workers = threads.min(n);
+    pooled_map(items, threads.min(n), &f).0
+}
+
+/// The pooled path shared by [`par_map_indexed`] and
+/// [`par_map_observed`]: runs `workers` scoped threads over a channel
+/// work queue and returns the input-order results plus how many items
+/// each worker happened to process (a scheduling artifact — callers
+/// that surface it must treat it as non-golden).
+fn pooled_map<T, R, F>(items: Vec<T>, workers: usize, f: &F) -> (Vec<R>, Vec<u64>)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
     // Work queue: pre-filled, sender dropped, so `recv` drains the queue
     // and then reports disconnection — no sentinel values needed.
     let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
@@ -128,23 +144,28 @@ where
 
     let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let tallies = Mutex::new(vec![0u64; workers]);
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let result_tx = result_tx.clone();
             let work_rx = &work_rx;
+            let tallies = &tallies;
             let f = &f;
             scope.spawn(move || {
+                let mut processed = 0u64;
                 loop {
                     // Hold the lock only while pulling the next item, not
                     // while computing on it.
                     let next = work_rx.lock().expect("work queue poisoned").recv();
                     let Ok((index, item)) = next else { break };
                     let result = f(index, item);
+                    processed += 1;
                     if result_tx.send((index, result)).is_err() {
                         break;
                     }
                 }
+                tallies.lock().expect("tally lock poisoned")[worker] = processed;
             });
         }
         drop(result_tx);
@@ -153,10 +174,66 @@ where
         }
     });
 
-    slots
+    let results = slots
         .into_iter()
         .map(|r| r.expect("every index produced exactly one result"))
-        .collect()
+        .collect();
+    (results, tallies.into_inner().expect("tally lock poisoned"))
+}
+
+/// [`par_map_indexed`] with telemetry: `f` additionally receives a
+/// **per-item shard [`Registry`]**, and the shards' golden snapshots are
+/// [`absorbed`] into `obs` in **input order** once the map completes.
+///
+/// That merge discipline is what keeps the golden channel bit-identical
+/// at any `RCS_THREADS`: no matter which worker recorded a shard, or
+/// when, the merged counters are the same integer sums in the same
+/// order. The map itself is recorded under `parallel.maps` /
+/// `parallel.tasks` (golden — workload shape does not depend on
+/// scheduling), while worker count and per-worker item tallies go to
+/// the non-golden note channel (`parallel.workers`,
+/// `parallel.worker_tasks.max`), because those *are* scheduling.
+///
+/// [`absorbed`]: Registry::absorb
+pub fn par_map_observed<T, R, F>(items: Vec<T>, threads: usize, obs: &Registry, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Registry) -> R + Sync,
+{
+    let n = items.len();
+    obs.inc("parallel.maps");
+    obs.add("parallel.tasks", n as u64);
+
+    let observed = |i: usize, item: T| {
+        let shard = Registry::new();
+        let result = f(i, item, &shard);
+        (result, shard.snapshot())
+    };
+
+    let (pairs, tallies) = if threads <= 1 || n <= 1 {
+        let pairs = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| observed(i, x))
+            .collect();
+        (pairs, vec![n as u64])
+    } else {
+        pooled_map(items, threads.min(n), &observed)
+    };
+
+    obs.note("parallel.workers", tallies.len() as u64);
+    obs.note(
+        "parallel.worker_tasks.max",
+        tallies.iter().copied().max().unwrap_or(0),
+    );
+
+    let mut results = Vec::with_capacity(n);
+    for (result, snapshot) in pairs {
+        obs.absorb(&snapshot);
+        results.push(result);
+    }
+    results
 }
 
 /// Maps `f` over `items` with the default worker count
@@ -267,6 +344,60 @@ mod tests {
     #[should_panic(expected = "chunk_size must be positive")]
     fn zero_chunk_size_panics() {
         let _ = fixed_chunks(10, 0);
+    }
+
+    #[test]
+    fn observed_map_returns_results_in_input_order() {
+        let obs = Registry::new();
+        let got = par_map_observed((0..50).collect::<Vec<u64>>(), 4, &obs, |i, x, shard| {
+            shard.inc("seen");
+            (i as u64) + x
+        });
+        assert_eq!(got, (0..50).map(|x| 2 * x).collect::<Vec<u64>>());
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("seen"), 50);
+        assert_eq!(snap.counter("parallel.maps"), 1);
+        assert_eq!(snap.counter("parallel.tasks"), 50);
+    }
+
+    #[test]
+    fn observed_map_golden_snapshot_is_thread_invariant() {
+        let run = |threads: usize| {
+            let obs = Registry::new();
+            let _ = par_map_observed(
+                (0..33).collect::<Vec<u64>>(),
+                threads,
+                &obs,
+                |_, x, shard| {
+                    shard.record_histogram("vals", &[10, 20], x);
+                    if x % 3 == 0 {
+                        shard.inc("multiples_of_three");
+                    }
+                    x
+                },
+            );
+            obs.snapshot()
+        };
+        let reference = run(1);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
+        assert_eq!(reference.counter("multiples_of_three"), 11);
+        assert_eq!(
+            reference.histogram("vals").unwrap().counts,
+            vec![11, 10, 12]
+        );
+    }
+
+    #[test]
+    fn observed_map_worker_tallies_are_notes_not_golden() {
+        let obs = Registry::new();
+        let _ = par_map_observed((0..20).collect::<Vec<u64>>(), 4, &obs, |_, x, _| x);
+        let notes = obs.notes();
+        let workers = notes.iter().find(|(k, _)| k == "parallel.workers");
+        assert_eq!(workers, Some(&("parallel.workers".to_owned(), 4)));
+        // scheduling artifacts never leak into the golden snapshot
+        assert_eq!(obs.snapshot().counter("parallel.workers"), 0);
     }
 
     #[test]

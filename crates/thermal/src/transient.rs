@@ -1,5 +1,6 @@
 //! Transient integration of thermal networks with nodal capacitances.
 
+use rcs_obs::Registry;
 use rcs_units::{Celsius, Seconds};
 
 use crate::error::ThermalError;
@@ -117,6 +118,23 @@ impl ThermalNetwork {
         duration: Seconds,
         max_step: Seconds,
     ) -> Result<TransientTrace, ThermalError> {
+        self.solve_transient_observed(initial, duration, max_step, Registry::disabled())
+    }
+
+    /// [`ThermalNetwork::solve_transient`] with telemetry recorded into
+    /// `obs` (see [`ThermalNetwork::solve_transient_from_observed`] for
+    /// the counters).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalNetwork::solve_transient`].
+    pub fn solve_transient_observed(
+        &self,
+        initial: Celsius,
+        duration: Seconds,
+        max_step: Seconds,
+        obs: &Registry,
+    ) -> Result<TransientTrace, ThermalError> {
         let initial_temps: Vec<Celsius> = self
             .nodes
             .iter()
@@ -125,7 +143,7 @@ impl ThermalNetwork {
                 NodeKind::Internal { .. } => initial,
             })
             .collect();
-        self.solve_transient_from(&initial_temps, duration, max_step)
+        self.solve_transient_from_observed(&initial_temps, duration, max_step, obs)
     }
 
     /// Integrates the network from an explicit per-node initial state
@@ -137,6 +155,49 @@ impl ThermalNetwork {
     /// As [`ThermalNetwork::solve_transient`], plus a dimension check on
     /// `initial`.
     pub fn solve_transient_from(
+        &self,
+        initial: &[Celsius],
+        duration: Seconds,
+        max_step: Seconds,
+    ) -> Result<TransientTrace, ThermalError> {
+        self.solve_transient_from_observed(initial, duration, max_step, Registry::disabled())
+    }
+
+    /// [`ThermalNetwork::solve_transient_from`] with telemetry recorded
+    /// into `obs` — all golden-channel integers:
+    ///
+    /// - `thermal.transient.calls` / `.errors` counters;
+    /// - `thermal.transient.steps` — integration samples produced (a
+    ///   function of duration and step size only);
+    /// - `thermal.transient.nodes` histogram of network size.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalNetwork::solve_transient_from`].
+    pub fn solve_transient_from_observed(
+        &self,
+        initial: &[Celsius],
+        duration: Seconds,
+        max_step: Seconds,
+        obs: &Registry,
+    ) -> Result<TransientTrace, ThermalError> {
+        obs.inc("thermal.transient.calls");
+        let result = self.transient_inner(initial, duration, max_step);
+        match &result {
+            Ok(trace) => {
+                obs.add("thermal.transient.steps", trace.len() as u64);
+                obs.record_histogram(
+                    "thermal.transient.nodes",
+                    &[2, 4, 8, 16, 64],
+                    self.nodes.len() as u64,
+                );
+            }
+            Err(_) => obs.inc("thermal.transient.errors"),
+        }
+        result
+    }
+
+    fn transient_inner(
         &self,
         initial: &[Celsius],
         duration: Seconds,
@@ -350,6 +411,42 @@ mod tests {
                 .seconds()
         };
         assert!(settle(40.0) > settle(10.0));
+    }
+
+    #[test]
+    fn observed_transient_counts_calls_steps_and_errors() {
+        let obs = Registry::new();
+        let mut net = ThermalNetwork::new();
+        let j = net.add_node_with_capacitance("j", 50.0);
+        let amb = net.add_boundary("amb", Celsius::new(0.0));
+        net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(0.5))
+            .unwrap();
+        net.add_heat(j, Power::from_watts(100.0)).unwrap();
+        let trace = net
+            .solve_transient_observed(
+                Celsius::new(0.0),
+                Seconds::new(10.0),
+                Seconds::new(0.1),
+                &obs,
+            )
+            .unwrap();
+        // a bad step records an error, not steps
+        let _ = net
+            .solve_transient_observed(
+                Celsius::new(0.0),
+                Seconds::new(10.0),
+                Seconds::new(0.0),
+                &obs,
+            )
+            .unwrap_err();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("thermal.transient.calls"), 2);
+        assert_eq!(snap.counter("thermal.transient.errors"), 1);
+        assert_eq!(snap.counter("thermal.transient.steps"), trace.len() as u64);
+        assert_eq!(
+            snap.histogram("thermal.transient.nodes").unwrap().total(),
+            1
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`units`] | `rcs-units` | typed physical quantities |
 //! | [`numeric`] | `rcs-numeric` | dense linear algebra, RK4, root finding |
 //! | [`parallel`] | `rcs-parallel` | deterministic scoped thread pool for sweeps |
+//! | [`obs`] | `rcs-obs` | deterministic telemetry: counters, histograms, manifests |
 //! | [`fluids`] | `rcs-fluids` | coolant properties & convection correlations |
 //! | [`thermal`] | `rcs-thermal` | resistance networks, sinks, TIMs, exchangers |
 //! | [`hydraulics`] | `rcs-hydraulics` | pipe-network solver, manifolds, balancing |
@@ -50,6 +51,7 @@ pub use rcs_devices as devices;
 pub use rcs_fluids as fluids;
 pub use rcs_hydraulics as hydraulics;
 pub use rcs_numeric as numeric;
+pub use rcs_obs as obs;
 pub use rcs_parallel as parallel;
 pub use rcs_platform as platform;
 pub use rcs_taskgraph as taskgraph;
