@@ -173,6 +173,37 @@ pub fn monte_carlo_observed(
     threads: usize,
     obs: &Registry,
 ) -> AvailabilityReport {
+    monte_carlo_traced(
+        classes,
+        horizon_years,
+        trials,
+        seed,
+        threads,
+        obs,
+        rcs_obs::trace::TraceRecorder::disabled(),
+    )
+}
+
+/// [`monte_carlo_observed`] plus trace recording: every trial pushes its
+/// availability into the `mc.availability` channel of `trace` with the
+/// global trial index as the time axis. Per-chunk shard recorders are
+/// merged in chunk order, so the retained (deterministically decimated)
+/// series is bit-identical at every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `horizon_years` is not positive or `trials` is zero.
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::cast_precision_loss)]
+pub fn monte_carlo_traced(
+    classes: &[FailureClass],
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+) -> AvailabilityReport {
     assert!(horizon_years > 0.0, "horizon must be positive");
     assert!(trials > 0, "at least one trial required");
     let hours_total = horizon_years * HOURS_PER_YEAR;
@@ -181,19 +212,38 @@ pub fn monte_carlo_observed(
     // function of (trials, seed) only.
     let chunks = rcs_parallel::fixed_chunks(trials, TRIALS_PER_CHUNK);
     let streams = Rng::seed_from_u64(seed).split_streams(chunks.len());
-    let work: Vec<(usize, Rng)> = chunks.into_iter().map(|r| r.len()).zip(streams).collect();
+    let work: Vec<(core::ops::Range<usize>, Rng)> = chunks.into_iter().zip(streams).collect();
 
     obs.inc("mc.runs");
     obs.add("mc.trials", trials as u64);
     obs.add("mc.chunks", work.len() as u64);
 
-    let partials =
-        rcs_parallel::par_map_observed(work, threads, obs, |_, (len, mut rng), shard| {
-            let outcome = run_chunk(classes, horizon_years, hours_total, len, &mut rng);
+    let partials = rcs_parallel::par_map_traced(
+        work,
+        threads,
+        obs,
+        trace,
+        // unprefixed: every chunk appends to the shared channels, merged
+        // in chunk order
+        |_| String::new(),
+        |_, (range, mut rng), shard, shard_trace| {
+            let outcome = run_chunk(classes, horizon_years, hours_total, range.len(), &mut rng);
             shard.add("mc.events", outcome.events);
             shard.add("mc.hardware_losses", outcome.losses);
+            // work accounting: one unit per simulated trial, plus one per
+            // sampled Poisson event (the inner-loop cost driver)
+            shard.work("mc.trials", range.len() as u64);
+            shard.work("mc.events", outcome.events);
+            if shard_trace.is_enabled() {
+                let ch =
+                    shard_trace.channel("mc.availability", rcs_obs::trace::ChannelKind::Scalar);
+                for (offset, availability) in outcome.availabilities.iter().enumerate() {
+                    shard_trace.record(ch, (range.start + offset) as f64, *availability);
+                }
+            }
             outcome
-        });
+        },
+    );
 
     // Fixed-order reduction: chunk 0, chunk 1, ... regardless of which
     // worker finished first, so float accumulation order is pinned.

@@ -1,14 +1,18 @@
 //! Prints every experiment table of the reproduction (E1–E12, F1–F5)
 //! and emits one NDJSON run manifest for the whole sweep
-//! (`RCS_OBS_MANIFEST` file, else stderr). The golden `counter` and
-//! `histogram` manifest lines are bit-identical at every `RCS_THREADS`
-//! setting — the CI counter-diff job holds us to that.
+//! (`RCS_OBS_MANIFEST` file, else stderr) plus, when `RCS_OBS_TRACE`
+//! names a file, the deterministic trace channels of the instrumented
+//! experiments. The golden `counter`, `histogram`, `fhistogram` and
+//! `trace` lines are bit-identical at every `RCS_THREADS` setting — the
+//! CI `obs_report diff` job holds us to that.
 
-use rcs_core::experiments::{self, run_all_observed};
+use rcs_core::experiments::{self, run_all_traced};
+use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 
 fn main() {
     let obs = Registry::new();
-    let tables = run_all_observed(&obs);
-    experiments::finish_run("exp_all", None, &tables, &obs);
+    let trace = TraceRecorder::from_env();
+    let tables = run_all_traced(&obs, &trace);
+    experiments::finish_run_traced("exp_all", None, &tables, &obs, &trace);
 }

@@ -1,17 +1,21 @@
 //! Prints the E12 reliability Monte-Carlo experiment tables (see
 //! DESIGN.md) and emits an NDJSON run manifest (`RCS_OBS_MANIFEST`
-//! file, else stderr) carrying the `mc.*` trial/event telemetry.
+//! file, else stderr) carrying the `mc.*` trial/event telemetry, plus
+//! the per-trial availability traces when `RCS_OBS_TRACE` names a file.
 
 use rcs_core::experiments::{self, e12_reliability_mc};
+use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 
 fn main() {
     let obs = Registry::new();
-    let tables = e12_reliability_mc::run_observed(&obs);
-    experiments::finish_run(
+    let trace = TraceRecorder::from_env();
+    let tables = e12_reliability_mc::run_traced(&obs, &trace);
+    experiments::finish_run_traced(
         "e12_reliability_mc",
         Some(e12_reliability_mc::SEED),
         &tables,
         &obs,
+        &trace,
     );
 }

@@ -1,0 +1,102 @@
+//! `obs_report` — ingest NDJSON run manifests/traces and either
+//! summarize them for humans or diff two of them for machines.
+//!
+//! ```text
+//! obs_report summary <file> [<file>...]
+//! obs_report diff [--profile-only] [--tol <prefix>=<rel>]... <baseline> <candidate>
+//! ```
+//!
+//! `summary` prints run identity, counter/histogram/trace inventories,
+//! the top counters, the profile tree, and per-trace statistics for
+//! every run document found in the given files.
+//!
+//! `diff` compares the golden channels (counters, integer and float
+//! histograms, traces, `profile.*` work accounting) of two manifest
+//! files, matching run documents by experiment name. It exits 0 when
+//! every compared channel matches (within the optional per-prefix
+//! relative tolerance bands) and 1 on any drift, missing channel, or
+//! unmatched run — the CI regression gate.
+
+use std::process::ExitCode;
+
+use rcs_obs::report::{self, DiffOptions, RunDoc};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  obs_report summary <file> [<file>...]\n  obs_report diff [--profile-only] \
+         [--tol <prefix>=<rel>]... <baseline> <candidate>"
+    );
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Vec<RunDoc> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(err) => {
+            eprintln!("obs_report: cannot read {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    match report::parse_ndjson(&text) {
+        Ok(docs) => docs,
+        Err(err) => {
+            eprintln!("obs_report: {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((mode, rest)) = args.split_first() else {
+        usage();
+    };
+    match mode.as_str() {
+        "summary" => {
+            if rest.is_empty() {
+                usage();
+            }
+            for path in rest {
+                let docs = load(path);
+                print!("{}", report::summary(&docs));
+            }
+            ExitCode::SUCCESS
+        }
+        "diff" => {
+            let mut opts = DiffOptions::default();
+            let mut files = Vec::new();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--profile-only" => opts.profile_only = true,
+                    "--tol" => {
+                        let Some(spec) = it.next() else { usage() };
+                        let Some((prefix, tol)) = spec.split_once('=') else {
+                            usage()
+                        };
+                        let Ok(tol) = tol.parse::<f64>() else { usage() };
+                        if !(tol.is_finite() && tol >= 0.0) {
+                            usage();
+                        }
+                        opts.tolerances.push((prefix.to_owned(), tol));
+                    }
+                    _ if arg.starts_with("--") => usage(),
+                    _ => files.push(arg.clone()),
+                }
+            }
+            let [baseline, candidate] = files.as_slice() else {
+                usage()
+            };
+            let a = load(baseline);
+            let b = load(candidate);
+            let diff = report::diff_docs(&a, &b, &opts);
+            print!("{}", diff.render());
+            if diff.has_regressions() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -343,7 +343,12 @@ impl FaultDrill {
     /// two runs with equal-state RNGs are bit-identical.
     #[must_use]
     pub fn run(&self, rng: &mut Rng) -> DrillOutcome {
-        self.simulate(rng, true, Registry::disabled())
+        self.simulate(
+            rng,
+            true,
+            Registry::disabled(),
+            rcs_obs::trace::TraceRecorder::disabled(),
+        )
     }
 
     /// [`FaultDrill::run`] with telemetry recorded into `obs` — all
@@ -363,7 +368,30 @@ impl FaultDrill {
     ///   baseline solve and relinearization.
     #[must_use]
     pub fn run_observed(&self, rng: &mut Rng, obs: &Registry) -> DrillOutcome {
-        self.simulate(rng, true, obs)
+        self.simulate(rng, true, obs, rcs_obs::trace::TraceRecorder::disabled())
+    }
+
+    /// [`FaultDrill::run_observed`] plus trace recording — the true
+    /// per-scan trajectory of the drill, pushed into bounded channels of
+    /// `trace` (long drills are decimated deterministically):
+    ///
+    /// - `drill.t_chip` / `drill.t_bath` — true temperatures (°C);
+    /// - `drill.flow_lpm` — linearized circulation flow (L/min);
+    /// - `drill.utilization` — the utilization the supervisor allowed;
+    /// - `drill.alarms` — alarms raised on the scan;
+    /// - `drill.action` — severity rank of the recommended action
+    ///   (see [`Action::severity_rank`]);
+    ///
+    /// plus the `immersion.ladder.*` channels of the baseline solve and
+    /// every relinearization.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        rng: &mut Rng,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> DrillOutcome {
+        self.simulate(rng, true, obs, trace)
     }
 
     /// Runs the same physics with the supervisor disconnected (no
@@ -371,18 +399,36 @@ impl FaultDrill {
     /// check that supervised shutdowns land before hardware violations.
     #[must_use]
     pub fn run_open_loop(&self, rng: &mut Rng) -> DrillOutcome {
-        self.simulate(rng, false, Registry::disabled())
+        self.simulate(
+            rng,
+            false,
+            Registry::disabled(),
+            rcs_obs::trace::TraceRecorder::disabled(),
+        )
     }
 
     /// [`FaultDrill::run_open_loop`] with telemetry recorded into `obs`
     /// (see [`FaultDrill::run_observed`] for the counters).
     #[must_use]
     pub fn run_open_loop_observed(&self, rng: &mut Rng, obs: &Registry) -> DrillOutcome {
-        self.simulate(rng, false, obs)
+        self.simulate(rng, false, obs, rcs_obs::trace::TraceRecorder::disabled())
     }
 
-    fn simulate(&self, rng: &mut Rng, supervised: bool, obs: &Registry) -> DrillOutcome {
+    fn simulate(
+        &self,
+        rng: &mut Rng,
+        supervised: bool,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> DrillOutcome {
+        use rcs_obs::trace::ChannelKind;
         obs.inc("drill.runs");
+        let ch_chip = trace.channel("drill.t_chip", ChannelKind::Temperature);
+        let ch_bath = trace.channel("drill.t_bath", ChannelKind::Temperature);
+        let ch_flow = trace.channel("drill.flow_lpm", ChannelKind::Flow);
+        let ch_util = trace.channel("drill.utilization", ChannelKind::Scalar);
+        let ch_alarms = trace.channel("drill.alarms", ChannelKind::Alarm);
+        let ch_action = trace.channel("drill.action", ChannelKind::Action);
         let hardware_limit = self.control.component_limit;
         let mut outcome = DrillOutcome {
             name: self.name.clone(),
@@ -404,7 +450,7 @@ impl FaultDrill {
         // reference resistance.
         let baseline = match ImmersionModel::new(self.module.clone(), self.bath.clone())
             .with_operating_point(OperatingPoint::at_utilization(self.demand_utilization))
-            .solve_robust_observed(obs)
+            .solve_robust_traced(obs, trace)
         {
             Ok(r) => r,
             Err(e) => {
@@ -445,7 +491,7 @@ impl FaultDrill {
                 let key = LinKey::of(&state, utilization, powered);
                 if lin_key.as_ref() != Some(&key) {
                     obs.inc("drill.relinearizations");
-                    match self.linearize(&state, utilization, r_chip_baseline, chips, obs) {
+                    match self.linearize(&state, utilization, r_chip_baseline, chips, obs, trace) {
                         Ok(l) => {
                             lin = Some(l);
                             lin_key = Some(key);
@@ -485,6 +531,11 @@ impl FaultDrill {
 
             if supervised && powered {
                 let (_readings, alarms, action) = supervisor.scan(t, &raw);
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    trace.record(ch_alarms, t.seconds(), alarms.len() as f64);
+                    trace.record(ch_action, t.seconds(), f64::from(action.severity_rank()));
+                }
                 if !alarms.is_empty() && outcome.time_to_alarm.is_none() {
                     outcome.time_to_alarm = Some(t);
                 }
@@ -536,6 +587,10 @@ impl FaultDrill {
             if t_chip > hardware_limit.degrees() {
                 outcome.violation_steps += 1;
             }
+            trace.record(ch_chip, t.seconds(), t_chip);
+            trace.record(ch_bath, t.seconds(), t_bath);
+            trace.record(ch_flow, t.seconds(), lin.flow_lpm);
+            trace.record(ch_util, t.seconds(), utilization);
             outcome.steps = step + 1;
         }
 
@@ -552,6 +607,7 @@ impl FaultDrill {
         );
         obs.add("drill.median_vote.degraded", supervisor.votes_degraded());
         obs.add("drill.median_vote.fallbacks", supervisor.vote_fallbacks());
+        obs.work("drill.scans", outcome.steps as u64);
         outcome
     }
 
@@ -567,6 +623,7 @@ impl FaultDrill {
         r_chip_baseline: f64,
         chips: f64,
         obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
     ) -> Result<Linearization, CoreError> {
         let degraded_bath = state.apply_to(&self.bath);
         let curves = state.pump_curves(&self.bath);
@@ -591,7 +648,7 @@ impl FaultDrill {
         if state.valve_opening < 1.0 {
             model = model.with_circulation_valve(state.valve_opening);
         }
-        let steady = model.solve_robust_observed(obs)?;
+        let steady = model.solve_robust_traced(obs, trace)?;
 
         let bulk =
             Celsius::new(0.5 * (steady.coolant_hot.degrees() + steady.coolant_cold.degrees()));

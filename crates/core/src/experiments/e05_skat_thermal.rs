@@ -24,6 +24,14 @@ pub fn run() -> Vec<Table> {
 /// (`immersion.solve.*`, `hydraulics.ladder.*`, `thermal.transient.*`).
 #[must_use]
 pub fn run_observed(obs: &Registry) -> Vec<Table> {
+    run_traced(obs, rcs_obs::trace::TraceRecorder::disabled())
+}
+
+/// [`run_observed`] plus trace recording: the Fig. 2 warm-up pushes its
+/// chip-field and bath series into the `immersion.warmup.*` channels of
+/// `trace` (decimated deterministically to the recorder capacity).
+#[must_use]
+pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<Table> {
     let model = ImmersionModel::skat();
     let report = model.solve_observed(obs).expect("SKAT converges");
 
@@ -81,7 +89,7 @@ pub fn run_observed(obs: &Registry) -> Vec<Table> {
     );
 
     let warmup = model
-        .warmup_observed(Seconds::hours(2.0), Seconds::new(2.0), obs)
+        .warmup_traced(Seconds::hours(2.0), Seconds::new(2.0), obs, trace)
         .expect("warm-up integrates");
     let chip = warmup.chip_series();
     let bath = warmup.bath_series();

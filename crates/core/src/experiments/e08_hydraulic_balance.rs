@@ -121,7 +121,26 @@ pub fn run() -> Vec<Table> {
 /// [`run`] with every measurement solve recorded into `obs`.
 #[must_use]
 pub fn run_observed(obs: &Registry) -> Vec<Table> {
+    run_traced(obs, rcs_obs::trace::TraceRecorder::disabled())
+}
+
+/// [`run_observed`] plus trace recording: each layout's per-loop flow
+/// distribution lands in a `e08.flow/<layout>` channel (loop index as
+/// the time axis), and the failure injection records its before/after
+/// series in `e08.failure.before` / `e08.failure.after`.
+#[must_use]
+#[allow(clippy::cast_precision_loss)]
+pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<Table> {
+    use rcs_obs::trace::ChannelKind;
     let data = rows_observed(obs);
+    if trace.is_enabled() {
+        for row in &data {
+            let ch = trace.channel(&format!("e08.flow/{}", row.layout), ChannelKind::Flow);
+            for (i, q) in row.flows_lpm.iter().enumerate() {
+                trace.record(ch, i as f64, *q);
+            }
+        }
+    }
     let mut headers: Vec<String> = vec!["layout".into()];
     headers.extend((0..LOOPS).map(|i| format!("loop {i} [L/min]")));
     headers.push("spread".into());
@@ -143,6 +162,16 @@ pub fn run_observed(obs: &Registry) -> Vec<Table> {
     );
 
     let (before, after) = failure_series_observed(2, obs);
+    if trace.is_enabled() {
+        let ch_before = trace.channel("e08.failure.before", ChannelKind::Flow);
+        let ch_after = trace.channel("e08.failure.after", ChannelKind::Flow);
+        for (i, q) in before.iter().enumerate() {
+            trace.record(ch_before, i as f64, *q);
+        }
+        for (i, q) in after.iter().enumerate() {
+            trace.record(ch_after, i as f64, *q);
+        }
+    }
     let mut rows_fail = vec![
         {
             let mut r = vec!["all loops running".to_owned()];

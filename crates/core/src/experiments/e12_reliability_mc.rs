@@ -86,27 +86,47 @@ pub fn rows() -> Vec<ReliabilityRow> {
 /// so the snapshot is bit-identical at any `RCS_THREADS`.
 #[must_use]
 pub fn rows_observed(obs: &Registry) -> Vec<ReliabilityRow> {
+    rows_traced(obs, rcs_obs::trace::TraceRecorder::disabled())
+}
+
+/// [`rows_observed`] plus trace recording: every architecture's study
+/// pushes its per-trial availability series into a
+/// `<architecture>/mc.availability` channel (global trial index as the
+/// time axis, deterministically decimated), merged in architecture
+/// order.
+#[must_use]
+pub fn rows_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<ReliabilityRow> {
     let threads = rcs_parallel::thread_count();
-    rcs_parallel::par_map_observed(architectures(), threads, obs, |_, arch, shard| {
-        let classes = risk::failure_classes(&arch);
-        let mc = availability::monte_carlo_observed(
-            &classes,
-            HORIZON_YEARS,
-            TRIALS,
-            SEED,
-            threads,
-            shard,
-        );
-        ReliabilityRow {
-            architecture: label(&arch),
-            connections: arch.pressure_tight_connections(),
-            events_per_year: classes.iter().map(|c| c.rate_per_year).sum(),
-            downtime_hours_per_year: risk::expected_annual_downtime_hours(&classes),
-            availability: mc.mean_availability,
-            p05_availability: mc.p05_availability,
-            hardware_losses: mc.mean_hardware_losses,
-        }
-    })
+    let archs = architectures();
+    let labels: Vec<String> = archs.iter().map(label).collect();
+    rcs_parallel::par_map_traced(
+        archs,
+        threads,
+        obs,
+        trace,
+        |i| labels[i].clone(),
+        |_, arch, shard, shard_trace| {
+            let classes = risk::failure_classes(&arch);
+            let mc = availability::monte_carlo_traced(
+                &classes,
+                HORIZON_YEARS,
+                TRIALS,
+                SEED,
+                threads,
+                shard,
+                shard_trace,
+            );
+            ReliabilityRow {
+                architecture: label(&arch),
+                connections: arch.pressure_tight_connections(),
+                events_per_year: classes.iter().map(|c| c.rate_per_year).sum(),
+                downtime_hours_per_year: risk::expected_annual_downtime_hours(&classes),
+                availability: mc.mean_availability,
+                p05_availability: mc.p05_availability,
+                hardware_losses: mc.mean_hardware_losses,
+            }
+        },
+    )
 }
 
 /// Renders the experiment tables.
@@ -119,7 +139,13 @@ pub fn run() -> Vec<Table> {
 /// into `obs`.
 #[must_use]
 pub fn run_observed(obs: &Registry) -> Vec<Table> {
-    let data = rows_observed(obs);
+    run_traced(obs, rcs_obs::trace::TraceRecorder::disabled())
+}
+
+/// [`run_observed`] plus trace recording (see [`rows_traced`]).
+#[must_use]
+pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<Table> {
+    let data = rows_traced(obs, trace);
     let table = Table::new(
         format!(
             "E12 — {HORIZON_YEARS:.0}-year Monte-Carlo availability ({TRIALS} trials, seed {SEED})"

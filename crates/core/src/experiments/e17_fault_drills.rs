@@ -159,12 +159,36 @@ pub fn rows_with_threads(threads: usize) -> Vec<DrillOutcome> {
 /// pins that down.
 #[must_use]
 pub fn rows_with_threads_observed(threads: usize, obs: &Registry) -> Vec<DrillOutcome> {
+    rows_with_threads_traced(threads, obs, rcs_obs::trace::TraceRecorder::disabled())
+}
+
+/// [`rows_with_threads_observed`] plus trace recording: every matrix
+/// cell records its drill trajectory (`drill.t_chip`, `drill.t_bath`,
+/// `drill.flow_lpm`, `drill.utilization`, `drill.alarms`,
+/// `drill.action`) into a per-cell shard recorder whose channels are
+/// merged under a `<design>/<drill>/` prefix in matrix order — so the
+/// trace snapshot is exactly as thread-invariant as the outcome vector.
+#[must_use]
+pub fn rows_with_threads_traced(
+    threads: usize,
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+) -> Vec<DrillOutcome> {
     let drills = cells();
+    let labels: Vec<String> = drills
+        .iter()
+        .map(|d| format!("{}/{}", d.module.name(), d.name))
+        .collect();
     let streams = Rng::seed_from_u64(SEED).split_streams(drills.len());
     let work: Vec<(FaultDrill, Rng)> = drills.into_iter().zip(streams).collect();
-    rcs_parallel::par_map_observed(work, threads, obs, |_, (drill, mut rng), shard| {
-        drill.run_observed(&mut rng, shard)
-    })
+    rcs_parallel::par_map_traced(
+        work,
+        threads,
+        obs,
+        trace,
+        |i| labels[i].clone(),
+        |_, (drill, mut rng), shard, shard_trace| drill.run_traced(&mut rng, shard, shard_trace),
+    )
 }
 
 fn fmt_time(t: Option<Seconds>) -> String {
@@ -183,6 +207,17 @@ pub fn run_observed(obs: &Registry) -> Vec<Table> {
     render(&rows_with_threads_observed(
         rcs_parallel::thread_count(),
         obs,
+    ))
+}
+
+/// [`run_observed`] plus trace recording (see
+/// [`rows_with_threads_traced`]).
+#[must_use]
+pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<Table> {
+    render(&rows_with_threads_traced(
+        rcs_parallel::thread_count(),
+        obs,
+        trace,
     ))
 }
 

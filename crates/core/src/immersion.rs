@@ -277,10 +277,12 @@ impl ImmersionModel {
                     &ITER_BOUNDS,
                     report.iterations as u64,
                 );
+                obs.work("immersion.fixed_point_iterations", report.iterations as u64);
                 Ok(report)
             }
-            Err(e @ CoreError::NoConvergence { .. }) => {
+            Err(e @ CoreError::NoConvergence { iterations, .. }) => {
                 obs.inc("immersion.solve.no_convergence");
+                obs.work("immersion.fixed_point_iterations", iterations as u64);
                 Err(e)
             }
             Err(e) => {
@@ -324,12 +326,54 @@ impl ImmersionModel {
     ///
     /// Same contract as [`ImmersionModel::solve_robust`].
     pub fn solve_robust_observed(&self, obs: &Registry) -> Result<SteadyReport, CoreError> {
+        self.solve_robust_traced(obs, rcs_obs::trace::TraceRecorder::disabled())
+    }
+
+    /// [`ImmersionModel::solve_robust_observed`] plus trace recording:
+    /// every rung attempted (converged or abandoned) pushes one sample
+    /// into `immersion.ladder.iterations` (outer fixed-point iterations
+    /// spent on that rung) and, where a residual exists, into
+    /// `immersion.ladder.residual` — the convergence trajectory of the
+    /// whole ladder, with the rung index as the time axis.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::solve_robust`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn solve_robust_traced(
+        &self,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<SteadyReport, CoreError> {
+        use rcs_obs::trace::ChannelKind;
         const LADDER: [(f64, usize); 3] = [(0.5, 120), (0.25, 400), (0.1, 1200)];
         obs.inc("immersion.ladder.calls");
         let mut last = None;
         for (rung, (damping, max_iter)) in LADDER.into_iter().enumerate() {
             match self.solve_damped(damping, max_iter, obs) {
-                Err(e @ CoreError::NoConvergence { .. }) => last = Some(e),
+                Err(
+                    e @ CoreError::NoConvergence {
+                        iterations,
+                        residual_k,
+                    },
+                ) => {
+                    obs.work("immersion.fixed_point_iterations", iterations as u64);
+                    trace.record_named(
+                        "immersion.ladder.iterations",
+                        ChannelKind::Scalar,
+                        rung as f64,
+                        iterations as f64,
+                    );
+                    if let Some(residual) = residual_k {
+                        trace.record_named(
+                            "immersion.ladder.residual",
+                            ChannelKind::Residual,
+                            rung as f64,
+                            residual,
+                        );
+                    }
+                    last = Some(e);
+                }
                 Ok(report) => {
                     obs.inc("immersion.ladder.converged");
                     obs.add("immersion.ladder.escalations", rung as u64);
@@ -338,6 +382,13 @@ impl ImmersionModel {
                         "immersion.ladder.iterations",
                         &ITER_BOUNDS,
                         report.iterations as u64,
+                    );
+                    obs.work("immersion.fixed_point_iterations", report.iterations as u64);
+                    trace.record_named(
+                        "immersion.ladder.iterations",
+                        ChannelKind::Scalar,
+                        rung as f64,
+                        report.iterations as f64,
                     );
                     return Ok(report);
                 }
@@ -576,6 +627,37 @@ impl ImmersionModel {
             chip_node,
             bath_node,
         })
+    }
+
+    /// [`ImmersionModel::warmup_observed`] plus trace recording: the
+    /// chip-field and bath temperature series are pushed into the
+    /// `immersion.warmup.chip` / `immersion.warmup.bath` channels of
+    /// `trace` (bounded — long warm-ups are decimated
+    /// deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::warmup`].
+    pub fn warmup_traced(
+        &self,
+        duration: Seconds,
+        step: Seconds,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<WarmupTrace, CoreError> {
+        use rcs_obs::trace::ChannelKind;
+        let warmup = self.warmup_observed(duration, step, obs)?;
+        if trace.is_enabled() {
+            let chip = trace.channel("immersion.warmup.chip", ChannelKind::Temperature);
+            let bath = trace.channel("immersion.warmup.bath", ChannelKind::Temperature);
+            for (t, temp) in warmup.chip_series() {
+                trace.record(chip, t.seconds(), temp.degrees());
+            }
+            for (t, temp) in warmup.bath_series() {
+                trace.record(bath, t.seconds(), temp.degrees());
+            }
+        }
+        Ok(warmup)
     }
 }
 

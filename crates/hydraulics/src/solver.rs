@@ -19,6 +19,7 @@
 
 use rcs_fluids::FluidState;
 use rcs_numeric::Matrix;
+use rcs_obs::trace::{ChannelKind, TraceRecorder};
 use rcs_obs::{residual_decade, Registry};
 use rcs_units::VolumeFlow;
 
@@ -83,6 +84,11 @@ const ITER_BOUNDS: [u64; 7] = [5, 10, 20, 50, 200, 500, 1500];
 const RUNG_BOUNDS: [u64; 3] = [0, 1, 2];
 /// Residual-decade histogram bounds (see [`rcs_obs::residual_decade`]).
 const DECADE_BOUNDS: [u64; 4] = [3, 6, 9, 12];
+
+/// Bucket edges for the float residual histogram (continuity residual,
+/// m³/s). The explicit underflow/overflow buckets absorb exactly-zero
+/// residuals and non-finite divergence without panicking.
+const RESIDUAL_EDGES: [f64; 4] = [1e-12, 1e-9, 1e-6, 1e-3];
 
 /// Where a failed attempt left off — enough to build the diagnostics.
 struct SolveFailure {
@@ -167,10 +173,20 @@ impl HydraulicNetwork {
                     &DECADE_BOUNDS,
                     residual_decade(solution.worst_residual_m3s()),
                 );
+                obs.record_histogram_f64(
+                    "hydraulics.solve.residual",
+                    &RESIDUAL_EDGES,
+                    solution.worst_residual_m3s(),
+                );
+                self.record_solver_work(obs, solution.iterations() as u64);
                 Ok(solution)
             }
             Err(InnerError::Stalled(fail)) => {
                 obs.inc("hydraulics.solve.stalled");
+                obs.record_histogram_f64("hydraulics.solve.residual", &RESIDUAL_EDGES, {
+                    fail.residual
+                });
+                self.record_solver_work(obs, fail.iterations as u64);
                 Err(HydraulicError::NoConvergence {
                     iterations: fail.iterations,
                     residual: fail.residual,
@@ -181,6 +197,17 @@ impl HydraulicNetwork {
                 Err(err)
             }
         }
+    }
+
+    /// Rolls one solve attempt's deterministic effort into the work
+    /// profile: outer iterations, one nodal-matrix factorization per
+    /// iteration, and iterations × unknown pressure nodes (the figure
+    /// that actually scales the dense elimination).
+    fn record_solver_work(&self, obs: &Registry, iterations: u64) {
+        let unknowns = self.junctions.len().saturating_sub(1) as u64;
+        obs.work("hydraulics.iterations", iterations);
+        obs.work("hydraulics.factorizations", iterations);
+        obs.work("hydraulics.iter_unknowns", iterations * unknowns);
     }
 
     /// Solves through the retry ladder: default options first, then two
@@ -251,6 +278,42 @@ impl HydraulicNetwork {
         rungs: &[SolveOptions],
         obs: &Registry,
     ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_traced(fluid, rungs, obs, TraceRecorder::disabled())
+    }
+
+    /// [`HydraulicNetwork::solve_robust_observed`] with trace recording:
+    /// see [`HydraulicNetwork::solve_with_ladder_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_robust`].
+    pub fn solve_robust_traced(
+        &self,
+        fluid: &FluidState,
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_traced(fluid, &SolveOptions::ladder(), obs, trace)
+    }
+
+    /// [`HydraulicNetwork::solve_with_ladder_observed`] plus trace
+    /// recording: every rung attempt appends to the
+    /// `hydraulics.ladder.residual` channel (t = rung index, value =
+    /// that rung's final continuity residual), and the converged rung
+    /// appends its iteration count to `hydraulics.ladder.iterations` —
+    /// the trajectory a decimated counter can't show.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_with_ladder`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn solve_with_ladder_traced(
+        &self,
+        fluid: &FluidState,
+        rungs: &[SolveOptions],
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<HydraulicSolution, HydraulicError> {
         obs.inc("hydraulics.ladder.calls");
         if rungs.is_empty() {
             return Err(HydraulicError::NonPositiveParameter {
@@ -275,9 +338,29 @@ impl HydraulicNetwork {
                         &DECADE_BOUNDS,
                         residual_decade(solution.worst_residual_m3s()),
                     );
+                    self.record_solver_work(obs, solution.iterations() as u64);
+                    trace.record_named(
+                        "hydraulics.ladder.residual",
+                        ChannelKind::Residual,
+                        rung as f64,
+                        solution.worst_residual_m3s(),
+                    );
+                    trace.record_named(
+                        "hydraulics.ladder.iterations",
+                        ChannelKind::Scalar,
+                        rung as f64,
+                        solution.iterations() as f64,
+                    );
                     return Ok(solution);
                 }
                 Err(InnerError::Stalled(fail)) => {
+                    self.record_solver_work(obs, fail.iterations as u64);
+                    trace.record_named(
+                        "hydraulics.ladder.residual",
+                        ChannelKind::Residual,
+                        rung as f64,
+                        fail.residual,
+                    );
                     attempts.push(SolveAttempt {
                         relax: opts.relax,
                         max_iter: opts.max_iter,

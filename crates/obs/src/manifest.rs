@@ -45,7 +45,7 @@ impl RunMeta {
 }
 
 /// Escapes `s` as the contents of a JSON string literal.
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -63,9 +63,9 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Renders the full NDJSON manifest: `run` header, golden `counter` and
-/// `histogram` lines (sorted by name), then non-golden `timing` and
-/// `note` lines. Ends with a trailing newline.
+/// Renders the full NDJSON manifest: `run` header, golden `counter`,
+/// `histogram` and `fhistogram` lines (sorted by name), then non-golden
+/// `timing` and `note` lines. Ends with a trailing newline.
 #[must_use]
 pub fn render(meta: &RunMeta, registry: &Registry) -> String {
     let mut out = String::new();
@@ -95,6 +95,22 @@ pub fn render(meta: &RunMeta, registry: &Registry) -> String {
         let _ = writeln!(
             out,
             "{{\"type\":\"histogram\",\"name\":\"{}\",\"bounds\":[{bounds}],\"counts\":[{counts}]}}",
+            escape_json(name),
+        );
+    }
+    for (name, hist) in &snapshot.fhistograms {
+        // edges are asserted finite at record time, so plain Display is
+        // valid JSON
+        let edges = hist
+            .edges
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let counts = join_u64(&hist.counts);
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"fhistogram\",\"name\":\"{}\",\"edges\":[{edges}],\"counts\":[{counts}]}}",
             escape_json(name),
         );
     }
@@ -128,6 +144,11 @@ fn join_u64(values: &[u64]) -> String {
 /// otherwise writes to stderr. Stdout is deliberately never used — the
 /// CI determinism jobs diff experiment stdout byte-for-byte, and the
 /// run header legitimately differs across thread counts.
+///
+/// Both sinks receive the **fully rendered buffer in a single
+/// `write_all`**: test binaries run concurrently, and one atomic write
+/// per manifest keeps their stderr streams from interleaving partial
+/// NDJSON lines.
 pub fn emit(meta: &RunMeta, registry: &Registry) {
     use std::io::Write as _;
     let rendered = render(meta, registry);
@@ -149,7 +170,9 @@ pub fn emit(meta: &RunMeta, registry: &Registry) {
             }
         }
     }
-    eprint!("{rendered}");
+    // one write_all on the locked handle — never line-by-line macros,
+    // which may split the buffer across multiple writes
+    let _ = std::io::stderr().lock().write_all(rendered.as_bytes());
 }
 
 #[cfg(test)]
@@ -197,6 +220,21 @@ mod tests {
             "{\"type\":\"note\",\"name\":\"workers\",\"value\":4}"
         );
         assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn float_histograms_render_edges_as_json_numbers() {
+        let obs = Registry::new();
+        obs.record_histogram_f64("solver.residual", &[0.000001, 0.5], 0.25);
+        let meta = RunMeta::new("exp_fh", None, 1);
+        let text = render(&meta, &obs);
+        assert!(
+            text.contains(
+                "{\"type\":\"fhistogram\",\"name\":\"solver.residual\",\
+                 \"edges\":[0.000001,0.5],\"counts\":[0,1,0]}"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::Mutex;
 
+use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 
 /// Environment variable overriding the worker count (`thread_count`).
@@ -201,23 +202,59 @@ where
     R: Send,
     F: Fn(usize, T, &Registry) -> R + Sync,
 {
+    par_map_traced(
+        items,
+        threads,
+        obs,
+        TraceRecorder::disabled(),
+        |_| String::new(),
+        move |i, x, shard, _| f(i, x, shard),
+    )
+}
+
+/// [`par_map_observed`] with trace recording: `f` additionally receives
+/// a **per-item shard [`TraceRecorder`]** (sharing `trace`'s capacity
+/// and enablement), and the shard traces are absorbed into `trace` in
+/// **input order** after the registry snapshot of the same item, each
+/// under the channel prefix `label(i)` (empty = merge unprefixed).
+///
+/// Distinct per-item labels keep per-item trajectories apart (the E17
+/// drill matrix names each cell); an empty label concatenates shard
+/// samples into shared channels in input order (the Monte-Carlo trial
+/// series). Either way the merged trace is a pure function of the input
+/// order — bit-identical at every `RCS_THREADS`.
+pub fn par_map_traced<T, R, F, L>(
+    items: Vec<T>,
+    threads: usize,
+    obs: &Registry,
+    trace: &TraceRecorder,
+    label: L,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Registry, &TraceRecorder) -> R + Sync,
+    L: Fn(usize) -> String,
+{
     let n = items.len();
     obs.inc("parallel.maps");
     obs.add("parallel.tasks", n as u64);
 
     let observed = |i: usize, item: T| {
         let shard = Registry::new();
-        let result = f(i, item, &shard);
-        (result, shard.snapshot())
+        let shard_trace = trace.shard();
+        let result = f(i, item, &shard, &shard_trace);
+        (result, shard.snapshot(), shard_trace.snapshot())
     };
 
-    let (pairs, tallies) = if threads <= 1 || n <= 1 {
-        let pairs = items
+    let (triples, tallies) = if threads <= 1 || n <= 1 {
+        let triples = items
             .into_iter()
             .enumerate()
             .map(|(i, x)| observed(i, x))
             .collect();
-        (pairs, vec![n as u64])
+        (triples, vec![n as u64])
     } else {
         pooled_map(items, threads.min(n), &observed)
     };
@@ -229,8 +266,9 @@ where
     );
 
     let mut results = Vec::with_capacity(n);
-    for (result, snapshot) in pairs {
+    for (i, (result, snapshot, trace_snapshot)) in triples.into_iter().enumerate() {
         obs.absorb(&snapshot);
+        trace.absorb_prefixed(&label(i), &trace_snapshot);
         results.push(result);
     }
     results
@@ -387,6 +425,90 @@ mod tests {
             reference.histogram("vals").unwrap().counts,
             vec![11, 10, 12]
         );
+    }
+
+    #[test]
+    fn traced_map_is_thread_invariant_with_and_without_labels() {
+        use rcs_obs::trace::ChannelKind;
+        let run = |threads: usize, labelled: bool| {
+            let obs = Registry::new();
+            let trace = TraceRecorder::with_capacity(16);
+            let _ = par_map_traced(
+                (0..9).collect::<Vec<u64>>(),
+                threads,
+                &obs,
+                &trace,
+                |i| {
+                    if labelled {
+                        format!("cell {i}")
+                    } else {
+                        String::new()
+                    }
+                },
+                |i, x, shard, shard_trace| {
+                    shard.inc("seen");
+                    for step in 0..40u64 {
+                        #[allow(clippy::cast_precision_loss)]
+                        shard_trace.record_named(
+                            "series",
+                            ChannelKind::Scalar,
+                            step as f64,
+                            (x * 100 + step) as f64,
+                        );
+                    }
+                    i
+                },
+            );
+            (obs.snapshot(), trace.snapshot())
+        };
+        for labelled in [false, true] {
+            let (snap_1, trace_1) = run(1, labelled);
+            assert!(!trace_1.is_empty());
+            if labelled {
+                assert_eq!(trace_1.channels.len(), 9);
+                assert!(trace_1.channel("cell 0/series").is_some());
+            } else {
+                // unlabelled shards concatenate into one channel, in
+                // input order, through the bounded decimation (the
+                // merged channel re-pushes each shard's *retained*
+                // samples, so its push count is the retained total)
+                assert_eq!(trace_1.channels.len(), 1);
+                let c = trace_1.channel("series").unwrap();
+                assert!(c.pushed > 0 && c.pushed <= 9 * 40);
+                assert!(c.samples.len() <= 16);
+            }
+            for threads in [2, 4, 7] {
+                let (snap_n, trace_n) = run(threads, labelled);
+                assert_eq!(snap_1, snap_n, "snapshot diverged at {threads}");
+                assert_eq!(trace_1, trace_n, "trace diverged at {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn traced_map_with_disabled_recorder_matches_observed_map() {
+        let obs_a = Registry::new();
+        let got_a = par_map_observed((0..12).collect::<Vec<u64>>(), 3, &obs_a, |_, x, shard| {
+            shard.inc("seen");
+            x * 2
+        });
+        let obs_b = Registry::new();
+        let trace = TraceRecorder::disabled();
+        let got_b = par_map_traced(
+            (0..12).collect::<Vec<u64>>(),
+            3,
+            &obs_b,
+            trace,
+            |_| String::new(),
+            |_, x, shard, shard_trace| {
+                shard.inc("seen");
+                assert!(!shard_trace.is_enabled());
+                x * 2
+            },
+        );
+        assert_eq!(got_a, got_b);
+        assert_eq!(obs_a.snapshot(), obs_b.snapshot());
+        assert!(trace.snapshot().is_empty());
     }
 
     #[test]

@@ -191,8 +191,48 @@ impl ThermalNetwork {
                     &[2, 4, 8, 16, 64],
                     self.nodes.len() as u64,
                 );
+                // work profile: RK4 samples, and samples × nodes (the
+                // figure the right-hand-side evaluation scales with)
+                obs.work("thermal.ode_steps", trace.len() as u64);
+                obs.work(
+                    "thermal.ode_node_steps",
+                    trace.len() as u64 * self.nodes.len() as u64,
+                );
             }
             Err(_) => obs.inc("thermal.transient.errors"),
+        }
+        result
+    }
+
+    /// [`ThermalNetwork::solve_transient_observed`] plus trace
+    /// recording: on success every node's temperature series is pushed
+    /// into the channel `thermal.<node name>` of `trace` (bounded — long
+    /// transients are decimated deterministically).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalNetwork::solve_transient`].
+    pub fn solve_transient_traced(
+        &self,
+        initial: Celsius,
+        duration: Seconds,
+        max_step: Seconds,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<TransientTrace, ThermalError> {
+        let result = self.solve_transient_observed(initial, duration, max_step, obs);
+        if let Ok(t) = &result {
+            if trace.is_enabled() {
+                for (node, data) in self.nodes.iter().enumerate() {
+                    let channel = trace.channel(
+                        &format!("thermal.{}", data.name),
+                        rcs_obs::trace::ChannelKind::Temperature,
+                    );
+                    for (time, temp) in t.series(NodeId(node)) {
+                        trace.record(channel, time.seconds(), temp.degrees());
+                    }
+                }
+            }
         }
         result
     }

@@ -114,7 +114,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timeline,
         Seconds::minutes(20.0),
     );
-    let outcome = drill.run(&mut Rng::seed_from_u64(7));
+    // Record the drill trajectory into a bounded deterministic trace:
+    // temperatures, flow, utilization, alarms and actions, one channel
+    // each. Set RCS_OBS_TRACE=<file> to export it (NDJSON, or CSV for a
+    // .csv path).
+    let obs = rcs_sim::obs::Registry::new();
+    let recorder = rcs_sim::obs::trace::TraceRecorder::new();
+    let outcome = drill.run_traced(&mut Rng::seed_from_u64(7), &obs, &recorder);
 
     println!("\nhardened drill: {}", outcome.name);
     match outcome.time_to_shutdown {
@@ -131,5 +137,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             outcome.channel_health.failed_channels().join(", ")
         }
     );
+
+    let snapshot = recorder.snapshot();
+    println!("\nrecorded trace channels:");
+    for channel in &snapshot.channels {
+        let last = channel.samples.last().map_or(f64::NAN, |s| s.value);
+        println!(
+            "  {:<18} {:>4} kept of {:>4} pushed (stride {}), last = {:.2}",
+            channel.name,
+            channel.samples.len(),
+            channel.pushed,
+            channel.stride,
+            last
+        );
+    }
+    // exports to the file named by RCS_OBS_TRACE (no-op otherwise)
+    rcs_sim::obs::trace::emit(&snapshot);
     Ok(())
 }

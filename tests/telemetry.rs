@@ -133,6 +133,39 @@ fn fault_drill_matrix_accounts_for_every_cell() {
     assert!(snap.counter("drill.shutdowns") > 0);
 }
 
+/// The disabled sinks are observationally invisible: routing a solve
+/// and a full fault drill through the `*_traced` entry points with
+/// [`Registry::disabled`] + [`TraceRecorder::disabled`] bit-matches the
+/// plain un-observed variants, and nothing is buffered anywhere. (The
+/// companion `rcs-obs` `noalloc` test proves the same calls are also
+/// allocation-free.)
+#[test]
+fn disabled_sinks_bit_match_the_unobserved_entry_points() {
+    use rcs_sim::obs::trace::TraceRecorder;
+
+    let model = ImmersionModel::skat();
+    let plain = model.solve_robust().expect("SKAT converges");
+    let traced = model
+        .solve_robust_traced(Registry::disabled(), TraceRecorder::disabled())
+        .expect("SKAT converges");
+    assert_eq!(plain, traced);
+
+    let timeline =
+        FaultTimeline::new().with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+    let drill = FaultDrill::skat("pump seizure", timeline, Seconds::minutes(20.0));
+    let plain = drill.run(&mut Rng::seed_from_u64(7));
+    let traced = drill.run_traced(
+        &mut Rng::seed_from_u64(7),
+        Registry::disabled(),
+        TraceRecorder::disabled(),
+    );
+    assert_eq!(plain, traced);
+
+    // the shared sinks buffered nothing while doing all of that
+    assert!(Registry::disabled().snapshot().is_empty());
+    assert!(TraceRecorder::disabled().snapshot().is_empty());
+}
+
 /// The NDJSON manifest is grep-stable: golden `counter`/`histogram`
 /// lines are independent of wall-clock timings, and the run header
 /// carries seed and thread count.
