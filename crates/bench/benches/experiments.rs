@@ -9,7 +9,7 @@ use rcs_bench::Harness;
 use rcs_core::experiments as exp;
 
 fn main() {
-    let mut h = Harness::from_args();
+    let mut h = Harness::from_args_for("experiments");
     h.bench("e01_air_anchors", || black_box(exp::e01_air_anchors::run()));
     h.bench("e03_family_scaling", || {
         black_box(exp::e03_family_scaling::run())

@@ -48,7 +48,7 @@ fn report_speedup(workload: &str, rows: &[(usize, Duration)]) {
 }
 
 fn main() {
-    let mut h = Harness::from_args();
+    let mut h = Harness::from_args_for("parallel");
 
     // Availability Monte-Carlo: the widest fan-out (trials / 64 chunks).
     let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(

@@ -7,7 +7,7 @@ use std::hint::black_box;
 use rcs_bench::Harness;
 use rcs_core::ImmersionModel;
 use rcs_fluids::Coolant;
-use rcs_hydraulics::layout;
+use rcs_hydraulics::{layout, SolverEngine};
 use rcs_numeric::Matrix;
 use rcs_thermal::ThermalNetwork;
 use rcs_units::{Celsius, Power, Seconds, ThermalResistance};
@@ -94,12 +94,68 @@ fn bench_coupled_immersion(h: &mut Harness) {
     });
 }
 
+/// The sparse graph-elimination kernel against the dense reference on
+/// the same manifold, sharing one analyzed context across solves (the
+/// production shape: symbolic once, numeric per Newton iteration).
+fn bench_sparse_vs_dense_manifold(h: &mut Harness) {
+    let water = Coolant::water().state(Celsius::new(20.0));
+    for loops in [6usize, 12, 24] {
+        let plan = layout::rack_manifold(loops, layout::ReturnStyle::Reverse);
+        for engine in [SolverEngine::Sparse, SolverEngine::Dense] {
+            let tag = match engine {
+                SolverEngine::Sparse => "sparse",
+                SolverEngine::Dense => "dense",
+            };
+            let mut ctx = plan.network.solver_context_with(engine);
+            h.bench(&format!("hydraulic_manifold_{tag}/{loops}"), || {
+                // cold every time: isolate the per-solve elimination cost
+                ctx.clear_seed();
+                black_box(plan.network.solve_in(black_box(&water), &mut ctx).unwrap())
+            });
+        }
+    }
+}
+
+/// A valve-trim parameter sweep, cold versus warm-started — the reuse
+/// pattern `auto_trim`, transients and Monte-Carlo trials lean on.
+fn bench_hydraulic_sweep(h: &mut Harness) {
+    let water = Coolant::water().state(Celsius::new(20.0));
+    let openings = [1.0, 0.8, 0.6, 0.45, 0.6, 0.8, 1.0];
+    for warm in [false, true] {
+        let tag = if warm { "warm" } else { "cold" };
+        let plan = layout::rack_manifold_with(
+            12,
+            layout::ReturnStyle::Direct,
+            &layout::ManifoldParams {
+                balancing_valves: true,
+                ..layout::ManifoldParams::default()
+            },
+        );
+        let valve = plan.loop_branches[0];
+        h.bench(
+            &format!("hydraulic_sweep_{tag}/12x{}", openings.len()),
+            || {
+                let mut net = plan.network.clone();
+                black_box(
+                    net.solve_sweep(openings.len(), warm, |net, i| {
+                        net.set_valve_opening(valve, openings[i]).unwrap();
+                        water
+                    })
+                    .unwrap(),
+                )
+            },
+        );
+    }
+}
+
 fn main() {
-    let mut h = Harness::from_args();
+    let mut h = Harness::from_args_for("solvers");
     bench_matrix_solve(&mut h);
     bench_thermal_steady(&mut h);
     bench_thermal_transient(&mut h);
     bench_hydraulic_manifold(&mut h);
+    bench_sparse_vs_dense_manifold(&mut h);
+    bench_hydraulic_sweep(&mut h);
     bench_coupled_immersion(&mut h);
     h.finish();
 }

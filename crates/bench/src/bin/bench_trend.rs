@@ -1,0 +1,148 @@
+//! `bench_trend` — compare fresh `BENCH_*.json` benchmark exports
+//! against the committed baselines in `goldens/`.
+//!
+//! ```text
+//! bench_trend <baseline_dir> <fresh_dir> [suite ...]
+//! ```
+//!
+//! For every suite (default: `solvers`, `experiments`, `parallel`) the
+//! checker loads `BENCH_<suite>.json` from both directories and
+//! compares medians benchmark by benchmark:
+//!
+//! * **regression** — fresh median exceeds baseline × tolerance: the
+//!   run FAILS (exit code 1) and names every offender.
+//! * **missing** — a baselined benchmark is absent from the fresh run:
+//!   FAILS, a silently dropped benchmark must never pass the gate.
+//! * **new** — a fresh benchmark with no baseline: reported, never
+//!   fatal (re-pin the baseline to start tracking it).
+//! * **improved** — fresh median below baseline / tolerance: reported
+//!   so a lucky machine does not silently become the new normal.
+//!
+//! The tolerance band is deliberately wide (default 4.0×) because CI
+//! machines vary and `--quick` medians are 3-sample. Override with
+//! `RCS_BENCH_TOLERANCE`. Wall-clock numbers are a *trend* signal; the
+//! bit-exact `profile.*` work counters in the golden manifests are the
+//! precise regression gate.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rcs_obs::report::{parse_json, Json};
+
+/// Median ratio (fresh / baseline) above which a benchmark fails.
+const DEFAULT_TOLERANCE: f64 = 4.0;
+
+const DEFAULT_SUITES: [&str; 3] = ["solvers", "experiments", "parallel"];
+
+struct Entry {
+    name: String,
+    median_ns: f64,
+}
+
+fn load_suite(dir: &str, suite: &str) -> Result<Vec<Entry>, String> {
+    let path = Path::new(dir).join(format!("BENCH_{suite}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let doc = parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let Some(Json::Arr(benches)) = doc.get("benchmarks") else {
+        return Err(format!("{}: no \"benchmarks\" array", path.display()));
+    };
+    let mut entries = Vec::new();
+    for b in benches {
+        let name = b
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: benchmark without a name", path.display()))?;
+        let median_ns = b
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{}: {name} has no median_ns", path.display()))?;
+        entries.push(Entry {
+            name: name.to_owned(),
+            median_ns,
+        });
+    }
+    Ok(entries)
+}
+
+fn check_suite(baseline_dir: &str, fresh_dir: &str, suite: &str, tol: f64) -> Result<u32, String> {
+    let baseline = load_suite(baseline_dir, suite)?;
+    let fresh = load_suite(fresh_dir, suite)?;
+    let mut failures = 0;
+    for base in &baseline {
+        match fresh.iter().find(|f| f.name == base.name) {
+            None => {
+                println!("FAIL  {suite}/{}: missing from the fresh run", base.name);
+                failures += 1;
+            }
+            Some(f) => {
+                let ratio = f.median_ns / base.median_ns.max(1.0);
+                if ratio > tol {
+                    println!(
+                        "FAIL  {suite}/{}: {:.0} ns vs baseline {:.0} ns ({ratio:.2}x > {tol:.2}x)",
+                        base.name, f.median_ns, base.median_ns
+                    );
+                    failures += 1;
+                } else if ratio < 1.0 / tol {
+                    println!(
+                        "note  {suite}/{}: improved {ratio:.2}x ({:.0} ns vs {:.0} ns) — consider re-pinning",
+                        base.name, f.median_ns, base.median_ns
+                    );
+                } else {
+                    println!("ok    {suite}/{}: {ratio:.2}x", base.name);
+                }
+            }
+        }
+    }
+    for f in &fresh {
+        if !baseline.iter().any(|b| b.name == f.name) {
+            println!(
+                "note  {suite}/{}: new benchmark ({:.0} ns), no baseline yet",
+                f.name, f.median_ns
+            );
+        }
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: bench_trend <baseline_dir> <fresh_dir> [suite ...]");
+        return ExitCode::from(2);
+    }
+    let (baseline_dir, fresh_dir) = (&args[0], &args[1]);
+    let suites: Vec<&str> = if args.len() > 2 {
+        args[2..].iter().map(String::as_str).collect()
+    } else {
+        DEFAULT_SUITES.to_vec()
+    };
+    let tol = match std::env::var("RCS_BENCH_TOLERANCE") {
+        Ok(v) => match v.parse::<f64>() {
+            Ok(t) if t.is_finite() && t > 1.0 => t,
+            _ => {
+                eprintln!("RCS_BENCH_TOLERANCE must be a finite number > 1, got {v:?}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+
+    let mut failures = 0u32;
+    for suite in suites {
+        match check_suite(baseline_dir, fresh_dir, suite, tol) {
+            Ok(n) => failures += n,
+            Err(e) => {
+                eprintln!("error: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench_trend: {failures} failure(s) at tolerance {tol:.2}x");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_trend: all suites within {tol:.2}x of the committed baselines");
+        ExitCode::SUCCESS
+    }
+}

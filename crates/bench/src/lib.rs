@@ -16,6 +16,12 @@
 //! argument filters benchmarks by substring, as in
 //! `cargo bench -p rcs-bench -- matrix`.
 //!
+//! When `RCS_BENCH_JSON_DIR` is set, [`Harness::finish`] additionally
+//! writes the suite's results as `BENCH_<suite>.json` in that
+//! directory — the machine-readable form the committed
+//! `goldens/BENCH_*.json` baselines and the `bench_trend` checker
+//! consume.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,23 +43,37 @@ const FULL_SAMPLES: usize = 15;
 /// Measured samples in `--quick` mode.
 const QUICK_SAMPLES: usize = 3;
 
+/// One recorded benchmark result, as exported to `BENCH_<suite>.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchResult {
+    /// Benchmark name, e.g. `matrix_solve/96`.
+    pub name: String,
+    /// Median per-iteration wall-clock time in nanoseconds.
+    pub median_ns: u128,
+    /// Minimum per-iteration wall-clock time in nanoseconds.
+    pub min_ns: u128,
+}
+
 /// A minimal wall-clock benchmark runner.
 #[derive(Debug, Clone)]
 pub struct Harness {
     quick: bool,
     filter: Option<String>,
+    suite: String,
     ran: usize,
+    results: Vec<BenchResult>,
 }
 
 impl Harness {
-    /// Builds a harness from the process arguments, as passed by
-    /// `cargo bench -p rcs-bench -- [--quick] [FILTER]`.
+    /// Builds a harness for the named suite from the process arguments,
+    /// as passed by `cargo bench -p rcs-bench -- [--quick] [FILTER]`.
     ///
     /// `--quick` selects the fast smoke mode; any argument not starting
     /// with `-` is a substring filter on benchmark names; other flags
-    /// (such as the `--bench` cargo appends) are ignored.
+    /// (such as the `--bench` cargo appends) are ignored. The suite
+    /// name becomes the `BENCH_<suite>.json` export file name.
     #[must_use]
-    pub fn from_args() -> Self {
+    pub fn from_args_for(suite: &str) -> Self {
         let mut quick = false;
         let mut filter = None;
         for arg in std::env::args().skip(1) {
@@ -66,8 +86,16 @@ impl Harness {
         Self {
             quick,
             filter,
+            suite: suite.to_owned(),
             ran: 0,
+            results: Vec::new(),
         }
+    }
+
+    /// [`Harness::from_args_for`] with the default suite name `bench`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        Self::from_args_for("bench")
     }
 
     /// A harness pinned to quick mode with no filter (useful in tests
@@ -77,7 +105,9 @@ impl Harness {
         Self {
             quick: true,
             filter: None,
+            suite: "bench".to_owned(),
             ran: 0,
+            results: Vec::new(),
         }
     }
 
@@ -105,6 +135,11 @@ impl Harness {
         }
         let stats = self.measure(&mut f);
         self.ran += 1;
+        self.results.push(BenchResult {
+            name: name.to_owned(),
+            median_ns: stats.median.as_nanos(),
+            min_ns: stats.min.as_nanos(),
+        });
         println!(
             "bench  {name:<42} median {:>10}   min {:>10}   ({} samples x {} iters)",
             format_duration(stats.median),
@@ -116,6 +151,14 @@ impl Harness {
     }
 
     /// Prints a closing summary; call once after the last benchmark.
+    /// When `RCS_BENCH_JSON_DIR` is set, also writes the results as
+    /// `BENCH_<suite>.json` in that directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `RCS_BENCH_JSON_DIR` is set but the export file cannot
+    /// be written — a silent export failure would let the bench-trend
+    /// gate pass vacuously.
     pub fn finish(&self) {
         let mode = if self.quick { "quick" } else { "full" };
         println!(
@@ -126,6 +169,32 @@ impl Harness {
                 None => String::new(),
             }
         );
+        if let Ok(dir) = std::env::var("RCS_BENCH_JSON_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.suite));
+            std::fs::write(&path, self.render_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            println!("bench  wrote {}", path.display());
+        }
+    }
+
+    /// Renders the recorded results as the `BENCH_*.json` document.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mode = if self.quick { "quick" } else { "full" };
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", self.suite));
+        out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}}}{comma}\n",
+                r.name, r.median_ns, r.min_ns
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     fn measure<T, F: FnMut() -> T>(&self, f: &mut F) -> Stats {
@@ -213,12 +282,39 @@ mod tests {
         let mut h = Harness {
             quick: true,
             filter: Some("matrix".into()),
+            suite: "bench".into(),
             ran: 0,
+            results: Vec::new(),
         };
         h.bench("thermal_steady", || 1u64);
         assert_eq!(h.ran, 0);
         h.bench("matrix_solve/8", || 1u64);
         assert_eq!(h.ran, 1);
+        assert_eq!(h.results.len(), 1, "skipped benchmarks are not exported");
+    }
+
+    #[test]
+    fn json_export_round_trips_through_the_obs_parser() {
+        let mut h = Harness::quick();
+        h.suite = "unit".into();
+        h.bench("alpha/1", || 1u64);
+        h.bench("beta", || 2u64);
+        let doc = rcs_obs::report::parse_json(&h.render_json()).unwrap();
+        assert_eq!(doc.get("suite").and_then(|v| v.as_str()), Some("unit"));
+        assert_eq!(doc.get("mode").and_then(|v| v.as_str()), Some("quick"));
+        let rcs_obs::report::Json::Arr(benches) = doc.get("benchmarks").unwrap() else {
+            panic!("benchmarks must be an array");
+        };
+        assert_eq!(benches.len(), 2);
+        assert_eq!(
+            benches[0].get("name").and_then(|v| v.as_str()),
+            Some("alpha/1")
+        );
+        assert!(benches[0]
+            .get("median_ns")
+            .and_then(|v| v.as_u64())
+            .is_some());
+        assert!(benches[1].get("min_ns").and_then(|v| v.as_u64()).is_some());
     }
 
     #[test]

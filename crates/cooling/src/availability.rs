@@ -256,7 +256,10 @@ pub fn monte_carlo_traced(
         total_losses += partial.losses;
     }
 
-    availabilities.sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+    // total order even under NaN: a poisoned trial would sort to the
+    // top deterministically instead of leaving the percentile rank
+    // dependent on the comparison sequence
+    availabilities.sort_by(f64::total_cmp);
     let mean = availabilities.iter().sum::<f64>() / trials as f64;
     let p05 = percentile(&availabilities, 0.05);
 
@@ -426,9 +429,7 @@ mod tests {
         assert_eq!(chunks.len(), 1);
         let mut rng = Rng::seed_from_u64(5);
         let mut chunk = run_chunk(&classes, 5.0, 5.0 * HOURS_PER_YEAR, 40, &mut rng);
-        chunk
-            .availabilities
-            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal));
+        chunk.availabilities.sort_by(f64::total_cmp);
         assert_eq!(r.p05_availability, chunk.availabilities[1]);
     }
 }

@@ -136,12 +136,15 @@ pub fn evaluate(c: &PumpCandidate, req: &PumpRequirements) -> PumpVerdict {
 #[must_use]
 pub fn rank(candidates: &[PumpCandidate], req: &PumpRequirements) -> Vec<PumpVerdict> {
     let mut verdicts: Vec<PumpVerdict> = candidates.iter().map(|c| evaluate(c, req)).collect();
+    // `total_cmp` keeps the ordering total when a score is NaN (e.g. a
+    // poisoned catalog entry): NaN-scored candidates rank after every
+    // finite score within their qualification tier instead of landing
+    // wherever the sort's comparison order happened to put them.
     verdicts.sort_by(|a, b| {
-        b.qualified.cmp(&a.qualified).then(
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(core::cmp::Ordering::Equal),
-        )
+        b.qualified
+            .cmp(&a.qualified)
+            .then(a.score.is_nan().cmp(&b.score.is_nan()))
+            .then(b.score.total_cmp(&a.score))
     });
     verdicts
 }
@@ -248,5 +251,36 @@ mod tests {
         let ranked = rank(&example_catalog(), &PumpRequirements::skat_default());
         let first_unqualified = ranked.iter().position(|v| !v.qualified).unwrap();
         assert!(ranked[..first_unqualified].iter().all(|v| v.qualified));
+    }
+
+    #[test]
+    fn poisoned_vibration_reading_ranks_last_among_qualified() {
+        // A NaN vibration figure slips through the `>` gate (NaN
+        // comparisons are false), so the candidate qualifies with a NaN
+        // score. The ranking must stay a total order: the poisoned entry
+        // lands *after* every finite-scored qualified pump and *before*
+        // the unqualified ones — never interleaved at the mercy of the
+        // sort's comparison sequence.
+        let mut catalog = example_catalog();
+        let mut poisoned = catalog[1].clone();
+        poisoned.name = "Poisoned P-0 (NaN vibration)".into();
+        poisoned.vibration_mm_s = f64::NAN;
+        // insert first so a stable sort can't accidentally save us
+        catalog.insert(0, poisoned);
+        let ranked = rank(&catalog, &PumpRequirements::skat_default());
+        let pos = ranked
+            .iter()
+            .position(|v| v.name.starts_with("Poisoned"))
+            .unwrap();
+        assert!(ranked[pos].qualified);
+        assert!(ranked[pos].score.is_nan());
+        // every qualified pump with a real score ranks above it...
+        for v in &ranked[..pos] {
+            assert!(v.qualified && v.score.is_finite(), "{}", v.name);
+        }
+        // ...and every entry below it is unqualified
+        for v in &ranked[pos + 1..] {
+            assert!(!v.qualified, "{}", v.name);
+        }
     }
 }

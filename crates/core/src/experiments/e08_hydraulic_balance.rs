@@ -88,11 +88,15 @@ pub fn failure_series(failed: usize) -> (Vec<f64>, Vec<f64>) {
 #[must_use]
 pub fn failure_series_observed(failed: usize, obs: &Registry) -> (Vec<f64>, Vec<f64>) {
     let mut plan = layout::rack_manifold(LOOPS, layout::ReturnStyle::Reverse);
+    // One context across both solves: the loop failure flips branch
+    // openness, which rebuilds the sparse schedule but keeps the healthy
+    // flows as the warm seed for the degraded re-solve.
+    let mut ctx = plan.network.solver_context();
     let before = plan
         .loop_flows(
             &plan
                 .network
-                .solve_observed(&water(), obs)
+                .solve_observed_in(&water(), &mut ctx, obs)
                 .expect("converges"),
         )
         .iter()
@@ -103,7 +107,7 @@ pub fn failure_series_observed(failed: usize, obs: &Registry) -> (Vec<f64>, Vec<
         .loop_flows(
             &plan
                 .network
-                .solve_observed(&water(), obs)
+                .solve_observed_in(&water(), &mut ctx, obs)
                 .expect("converges"),
         )
         .iter()

@@ -2,7 +2,7 @@
 
 use rcs_cooling::ImmersionBath;
 use rcs_devices::{OperatingPoint, PowerModel};
-use rcs_hydraulics::{Element, HydraulicNetwork, Pipe, PumpCurve, Valve};
+use rcs_hydraulics::{BranchId, Element, HydraulicNetwork, Pipe, PumpCurve, SolverContext, Valve};
 use rcs_platform::{presets, ComputeModule};
 use rcs_thermal::{
     ChipStack, HeatSink, NodeId, ThermalInterface, ThermalNetwork, TimAging, TimMaterial,
@@ -184,15 +184,33 @@ impl ImmersionModel {
         oil_bulk: Celsius,
         obs: &Registry,
     ) -> Result<(VolumeFlow, Power), CoreError> {
-        obs.inc("immersion.circulation.calls");
+        match self.circulation_network()? {
+            None => {
+                // every pump seized: no driving head, the bath stagnates
+                obs.inc("immersion.circulation.calls");
+                obs.inc("immersion.circulation.stagnant");
+                Ok((VolumeFlow::ZERO, Power::ZERO))
+            }
+            Some((net, bath_branch)) => {
+                let mut ctx = net.solver_context();
+                self.circulation_solve(&net, bath_branch, oil_bulk, &mut ctx, obs)
+            }
+        }
+    }
+
+    /// Builds the bath circulation network — the bath + exchanger loss
+    /// path against the surviving pump curves — or `None` when every
+    /// pump has seized (stagnant bath). The topology depends only on
+    /// the model configuration, never on the oil temperature, so one
+    /// build (and one [`SolverContext`]) serves a whole fixed-point
+    /// iteration or transient.
+    fn circulation_network(&self) -> Result<Option<(HydraulicNetwork, BranchId)>, CoreError> {
         let pump_curves: Vec<PumpCurve> = match &self.pump_overrides {
             Some(curves) => curves.clone(),
             None => vec![self.bath.pump; self.bath.pump_count],
         };
         if pump_curves.is_empty() {
-            // every pump seized: no driving head, the bath stagnates
-            obs.inc("immersion.circulation.stagnant");
-            return Ok((VolumeFlow::ZERO, Power::ZERO));
+            return Ok(None);
         }
 
         let mut net = HydraulicNetwork::new();
@@ -230,12 +248,27 @@ impl ImmersionModel {
             net.add_branch(format!("pump {i}"), b, a, vec![Element::Pump(*curve)])
                 .map_err(CoreError::from)?;
         }
+        Ok(Some((net, bath_branch)))
+    }
+
+    /// One circulation operating-point solve through a caller-held
+    /// [`SolverContext`], so consecutive solves of the same bath reuse
+    /// the sparse schedule and warm-start from the previous flows.
+    fn circulation_solve(
+        &self,
+        net: &HydraulicNetwork,
+        bath_branch: BranchId,
+        oil_bulk: Celsius,
+        ctx: &mut SolverContext,
+        obs: &Registry,
+    ) -> Result<(VolumeFlow, Power), CoreError> {
+        obs.inc("immersion.circulation.calls");
         let oil = self.bath.coolant.state(oil_bulk);
         // retry ladder: bit-identical to a plain solve for healthy
         // networks, but deeply derated pump curves get the damped rungs
         // and, failing those, diagnostics naming the offending branch
         let solution = net
-            .solve_robust_observed(&oil, obs)
+            .solve_robust_observed_in(&oil, ctx, obs)
             .map_err(CoreError::from)?;
         let flow = solution.flow(bath_branch);
         let electrical =
@@ -412,6 +445,12 @@ impl ImmersionModel {
         let model = PowerModel::for_part(self.module.ccb().part());
         let stack = self.chip_stack();
 
+        // One network build and one solver context for the whole fixed
+        // point: every iteration's hydraulic solve after the first
+        // warm-starts from the previous iteration's flows.
+        let circulation = self.circulation_network()?;
+        let mut ctx = circulation.as_ref().map(|(net, _)| net.solver_context());
+
         let mut tj = Celsius::new(45.0);
         let mut oil_hot = self.bath.chiller.setpoint() + TempDelta::from_kelvins(8.0);
         let mut oil_cold = oil_hot;
@@ -425,7 +464,16 @@ impl ImmersionModel {
         for iter in 0..max_iter {
             iterations = iter + 1;
             let oil_bulk = Celsius::new(0.5 * (oil_hot.degrees() + oil_cold.degrees()));
-            let (q, p_elec) = self.circulation_observed(oil_bulk, obs)?;
+            let (q, p_elec) = match (&circulation, &mut ctx) {
+                (Some((net, bath_branch)), Some(ctx)) => {
+                    self.circulation_solve(net, *bath_branch, oil_bulk, ctx, obs)?
+                }
+                _ => {
+                    obs.inc("immersion.circulation.calls");
+                    obs.inc("immersion.circulation.stagnant");
+                    (VolumeFlow::ZERO, Power::ZERO)
+                }
+            };
             flow = q;
             pump_electrical = p_elec;
             velocity = self.bath.approach_velocity(flow);

@@ -211,12 +211,14 @@ pub fn score(coolant: &Coolant, criteria: &CoolantCriteria) -> CoolantScore {
 #[must_use]
 pub fn rank(candidates: &[Coolant], criteria: &CoolantCriteria) -> Vec<CoolantScore> {
     let mut scores: Vec<CoolantScore> = candidates.iter().map(|c| score(c, criteria)).collect();
+    // `total_cmp` keeps the ordering total when a score is NaN (e.g. a
+    // degenerate all-zero-weight criteria set): NaN-scored candidates
+    // sort after every real score instead of scrambling the ranking.
     scores.sort_by(|a, b| {
-        a.disqualified.cmp(&b.disqualified).then(
-            b.total
-                .partial_cmp(&a.total)
-                .unwrap_or(core::cmp::Ordering::Equal),
-        )
+        a.disqualified
+            .cmp(&b.disqualified)
+            .then(a.total.is_nan().cmp(&b.total.is_nan()))
+            .then(b.total.total_cmp(&a.total))
     });
     scores
 }
@@ -292,5 +294,33 @@ mod tests {
             score(&Coolant::src_dielectric(), &c).total
                 > score(&Coolant::mineral_oil_md45(), &c).total
         );
+    }
+
+    #[test]
+    fn poisoned_totals_still_rank_deterministically() {
+        // An all-zero-weight criteria set divides by a zero weight sum,
+        // so every total is NaN. The ranking must remain a total order:
+        // disqualification still decides the tiers, NaN totals compare
+        // equal to each other, and two runs agree element for element.
+        let mut criteria = CoolantCriteria::immersion_default();
+        criteria.dielectric = 0.0;
+        criteria.heat_capacity = 0.0;
+        criteria.conductivity = 0.0;
+        criteria.low_viscosity = 0.0;
+        criteria.fire_safety = 0.0;
+        criteria.low_toxicity = 0.0;
+        criteria.stability = 0.0;
+        criteria.low_cost = 0.0;
+        let ranked = rank(&all_coolants(), &criteria);
+        assert!(ranked.iter().all(|s| s.total.is_nan()));
+        let first_dq = ranked.iter().position(|s| s.disqualified).unwrap();
+        assert!(ranked[..first_dq].iter().all(|s| !s.disqualified));
+        assert!(ranked[first_dq..].iter().all(|s| s.disqualified));
+        let names: Vec<&str> = ranked.iter().map(|s| s.coolant.as_str()).collect();
+        let again: Vec<String> = rank(&all_coolants(), &criteria)
+            .into_iter()
+            .map(|s| s.coolant)
+            .collect();
+        assert_eq!(names, again, "poisoned ranking must be reproducible");
     }
 }

@@ -78,7 +78,11 @@ pub fn auto_trim(
 ) -> Result<TrimReport, HydraulicError> {
     let n = plan.loop_count();
     let mut openings = vec![1.0f64; n];
-    let initial = plan.network.solve(fluid)?;
+    // Valve trims keep the incidence structure, so every round reuses
+    // one solver context: the sparse schedule is analyzed once and each
+    // round warm-starts from the previous round's flows.
+    let mut ctx = plan.network.solver_context();
+    let initial = plan.network.solve_in(fluid, &mut ctx)?;
     // a plan with no loops is trivially balanced
     let spread_before = spread(&plan.loop_flows(&initial)).unwrap_or(1.0);
 
@@ -86,7 +90,7 @@ pub fn auto_trim(
     let mut rounds = 0;
     for round in 0..max_rounds {
         rounds = round + 1;
-        let sol = plan.network.solve(fluid)?;
+        let sol = plan.network.solve_in(fluid, &mut ctx)?;
         let flows = plan.loop_flows(&sol);
         let s = spread(&flows).unwrap_or(1.0);
         best = best.min(s);
@@ -110,7 +114,7 @@ pub fn auto_trim(
                 .set_valve_opening(plan.loop_branches[i], openings[i])?;
         }
     }
-    let sol = plan.network.solve(fluid)?;
+    let sol = plan.network.solve_in(fluid, &mut ctx)?;
     let spread_after = spread(&plan.loop_flows(&sol)).unwrap_or(1.0);
     Ok(TrimReport {
         spread_before,

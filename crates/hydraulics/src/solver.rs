@@ -2,10 +2,24 @@
 //!
 //! The algorithm is Todini & Pilati's global gradient method as used by
 //! EPANET: each outer iteration linearizes every branch's head-loss curve
-//! around its current flow, solves the resulting nodal pressure system with
-//! dense elimination, and updates branch flows from the new pressures. An
-//! under-relaxation factor keeps the quadratic loss curves from
-//! oscillating.
+//! around its current flow, solves the resulting nodal pressure system,
+//! and updates branch flows from the new pressures. An under-relaxation
+//! factor keeps the quadratic loss curves from oscillating.
+//!
+//! The nodal system is solved with sparse graph elimination over the
+//! node incidence structure ([`rcs_numeric::SparseSymbolic`]): the
+//! symbolic factorization is analyzed once per topology and replayed
+//! per Newton iteration. The elimination schedule mirrors the dense
+//! loop order exactly, so the sparse path is bit-identical to the dense
+//! reference ([`SolverEngine::Dense`], kept as a cross-check) on the
+//! diagonally dominant systems the assembly produces.
+//!
+//! Repeated solves — parameter sweeps, coupled fixed points, failure
+//! studies — reuse a [`SolverContext`]: the symbolic factorization is
+//! shared across Newton iterations and ladder rungs, and each
+//! successful solve leaves its flows behind as a **warm start** for the
+//! next, so neighboring solves start from the neighboring solution
+//! instead of from scratch.
 //!
 //! Faulted networks (deeply derated pumps, nearly shut valves) can sit
 //! on much stiffer loss curves than healthy ones, so the solver also
@@ -18,7 +32,7 @@
 //! [`ConvergenceDiagnostics`]: crate::error::ConvergenceDiagnostics
 
 use rcs_fluids::FluidState;
-use rcs_numeric::Matrix;
+use rcs_numeric::{Matrix, SparseSymbolic};
 use rcs_obs::trace::{ChannelKind, TraceRecorder};
 use rcs_obs::{residual_decade, Registry};
 use rcs_units::VolumeFlow;
@@ -33,6 +47,14 @@ const CONTINUITY_TOL: f64 = 1e-9;
 const MAX_ITER: usize = 200;
 /// Under-relaxation on flow updates.
 const RELAX: f64 = 0.7;
+/// Minimum 0-based iteration index at which a cold solve may declare
+/// convergence (≥ 4 iterations — the residual can look deceptively
+/// small before the linearization has settled).
+const MIN_ITER_COLD: usize = 3;
+/// Minimum 0-based iteration index for a warm-started solve: the seed
+/// already sits near the solution, but at least one full
+/// re-linearization pass must confirm it (≥ 2 iterations).
+const MIN_ITER_WARM: usize = 1;
 
 /// Tuning knobs for one solve attempt.
 ///
@@ -76,6 +98,230 @@ impl SolveOptions {
     }
 }
 
+/// Which linear-algebra kernel factors the nodal system.
+///
+/// The two engines perform the same arithmetic in the same order on the
+/// diagonally dominant systems the assembly produces (dense partial
+/// pivoting never swaps rows there), so they agree bit-for-bit; the
+/// dense path survives as the independent cross-check the sparse
+/// schedule is validated against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverEngine {
+    /// Sparse graph elimination with a precomputed symbolic schedule
+    /// (the default — O(nnz) per iteration instead of O(n³)).
+    #[default]
+    Sparse,
+    /// Dense Gaussian elimination with partial pivoting
+    /// ([`rcs_numeric::Matrix::solve`]), the reference path.
+    Dense,
+}
+
+/// Precomputed per-branch assembly plan: the unknown-column of each
+/// endpoint and, for the sparse engine, the value-array indices the
+/// branch conductance scatters into.
+#[derive(Debug, Clone, Copy)]
+struct BranchScatter {
+    /// Unknown column of the `from` junction (`None` = reference).
+    ci: Option<usize>,
+    /// Unknown column of the `to` junction (`None` = reference).
+    cj: Option<usize>,
+    /// Sparse value index of `(ci, ci)` — valid when `ci` is `Some`.
+    ii: usize,
+    /// Sparse value index of `(cj, cj)` — valid when `cj` is `Some`.
+    jj: usize,
+    /// Sparse value index of `(ci, cj)` — valid when both are `Some`.
+    ij: usize,
+    /// Sparse value index of `(cj, ci)` — valid when both are `Some`.
+    ji: usize,
+}
+
+/// Reusable solver state bound to one network topology.
+///
+/// Holds the symbolic factorization (analyzed once, replayed every
+/// Newton iteration and ladder rung), the per-branch assembly plan, the
+/// numeric workspaces, and the **warm-start seed**: after a successful
+/// solve the converged flows are kept and the next solve through this
+/// context starts from them instead of from the cold uniform guess.
+///
+/// The context revalidates itself against the network on every solve:
+/// if the topology changed (junctions, branches, openness, reference)
+/// the plan is rebuilt automatically — the warm seed survives pure
+/// openness changes (a failure sweep's neighboring solution is still
+/// the best available guess) and is dropped when the branch set itself
+/// changed. Valve re-trims and fluid changes don't invalidate anything.
+///
+/// Warm-starting is deterministic: the seed is a pure function of the
+/// solve history through this context, so results are bit-identical at
+/// every `RCS_THREADS` value (contexts are never shared across
+/// threads; each worker chains its own).
+///
+/// # Examples
+///
+/// ```
+/// use rcs_fluids::Coolant;
+/// use rcs_hydraulics::{Element, HydraulicNetwork, Pipe, PumpCurve};
+/// use rcs_units::{Celsius, Length, Pressure, VolumeFlow};
+///
+/// let mut net = HydraulicNetwork::new();
+/// let a = net.add_junction("out");
+/// let b = net.add_junction("in");
+/// net.add_branch("piping", a, b, vec![Element::Pipe(
+///     Pipe::smooth(Length::from_meters(20.0), Length::millimeters(25.0)))])?;
+/// net.add_branch("pump", b, a, vec![Element::Pump(PumpCurve::new(
+///     Pressure::kilopascals(60.0), VolumeFlow::liters_per_minute(150.0)))])?;
+/// let water = Coolant::water().state(Celsius::new(20.0));
+///
+/// let mut ctx = net.solver_context();
+/// let cold = net.solve_in(&water, &mut ctx)?;
+/// let warm = net.solve_in(&water, &mut ctx)?; // starts from `cold`'s flows
+/// assert!(warm.iterations() < cold.iterations());
+/// # Ok::<(), rcs_hydraulics::HydraulicError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverContext {
+    engine: SolverEngine,
+    // -- topology fingerprint --
+    n_junctions: usize,
+    reference: usize,
+    openness: Vec<bool>,
+    // -- assembly plan --
+    unknowns: Vec<usize>,
+    touched: Vec<bool>,
+    scatter: Vec<BranchScatter>,
+    symbolic: Option<SparseSymbolic>,
+    // -- numeric workspaces (sparse engine) --
+    values: Vec<f64>,
+    rhs: Vec<f64>,
+    // -- warm state --
+    warm_flows: Option<Vec<f64>>,
+}
+
+impl SolverContext {
+    fn build(net: &HydraulicNetwork, engine: SolverEngine, warm: Option<Vec<f64>>) -> Self {
+        let n_junctions = net.junctions.len();
+        let reference = net.reference.map_or(0, |r| r.0);
+        let openness: Vec<bool> = net.branches.iter().map(|b| b.open).collect();
+        let unknowns: Vec<usize> = (0..n_junctions).filter(|&j| j != reference).collect();
+        let mut col_of: Vec<Option<usize>> = vec![None; n_junctions];
+        for (c, &j) in unknowns.iter().enumerate() {
+            col_of[j] = Some(c);
+        }
+        let mut touched = vec![false; n_junctions];
+        for b in net.branches.iter().filter(|b| b.open) {
+            touched[b.from.0] = true;
+            touched[b.to.0] = true;
+        }
+
+        let symbolic = match engine {
+            SolverEngine::Dense => None,
+            SolverEngine::Sparse => {
+                // Open-branch incidence only: exactly the edges whose
+                // conductances the assembly scatters. Closed branches
+                // contribute nothing (matching the dense assembly), so
+                // openness is part of the fingerprint above.
+                let edges: Vec<(usize, usize)> = net
+                    .branches
+                    .iter()
+                    .filter(|b| b.open)
+                    .filter_map(|b| Some((col_of[b.from.0]?, col_of[b.to.0]?)))
+                    .collect();
+                Some(SparseSymbolic::analyze(unknowns.len(), &edges))
+            }
+        };
+        let scatter = net
+            .branches
+            .iter()
+            .map(|b| {
+                let ci = col_of[b.from.0];
+                let cj = col_of[b.to.0];
+                let idx = |r: Option<usize>, c: Option<usize>| -> usize {
+                    match (&symbolic, r, c, b.open) {
+                        (Some(sym), Some(r), Some(c), true) => sym
+                            .index_of(r, c)
+                            .expect("open-branch incidence is structural"),
+                        _ => 0,
+                    }
+                };
+                BranchScatter {
+                    ci,
+                    cj,
+                    ii: idx(ci, ci),
+                    jj: idx(cj, cj),
+                    ij: idx(ci, cj),
+                    ji: idx(cj, ci),
+                }
+            })
+            .collect();
+
+        let nnz = symbolic.as_ref().map_or(0, SparseSymbolic::nnz);
+        let n = unknowns.len();
+        Self {
+            engine,
+            n_junctions,
+            reference,
+            openness,
+            unknowns,
+            touched,
+            scatter,
+            symbolic,
+            values: vec![0.0; nnz],
+            rhs: vec![0.0; n],
+            warm_flows: warm,
+        }
+    }
+
+    /// `true` if the stored plan still describes `net`'s topology.
+    fn matches(&self, net: &HydraulicNetwork) -> bool {
+        self.n_junctions == net.junctions.len()
+            && self.reference == net.reference.map_or(0, |r| r.0)
+            && self.openness.len() == net.branches.len()
+            && self
+                .openness
+                .iter()
+                .zip(&net.branches)
+                .all(|(o, b)| *o == b.open)
+    }
+
+    /// Revalidates against `net`, rebuilding the plan if the topology
+    /// changed. The warm seed survives a rebuild when the branch count
+    /// is unchanged (openness flips); otherwise it is dropped.
+    fn ensure(&mut self, net: &HydraulicNetwork) {
+        if self.matches(net) {
+            return;
+        }
+        let warm = self
+            .warm_flows
+            .take()
+            .filter(|w| w.len() == net.branches.len());
+        *self = Self::build(net, self.engine, warm);
+    }
+
+    /// Consumes the warm seed if it is usable for `net`.
+    fn take_seed(&mut self, net: &HydraulicNetwork) -> Option<Vec<f64>> {
+        self.warm_flows
+            .take()
+            .filter(|w| w.len() == net.branches.len() && w.iter().all(|q| q.is_finite()))
+    }
+
+    /// The engine this context factors with.
+    #[must_use]
+    pub fn engine(&self) -> SolverEngine {
+        self.engine
+    }
+
+    /// `true` if the next solve through this context will start from a
+    /// previous solution's flows.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.warm_flows.is_some()
+    }
+
+    /// Drops the warm-start seed: the next solve starts cold.
+    pub fn clear_seed(&mut self) {
+        self.warm_flows = None;
+    }
+}
+
 /// Iteration-count histogram bounds shared by all solver telemetry
 /// (inclusive upper bounds; the overflow bucket catches anything past
 /// the heaviest ladder budget).
@@ -103,7 +349,29 @@ enum InnerError {
     Other(HydraulicError),
 }
 
+/// A converged attempt plus how it started (for the work profile).
+struct SolveOutcome {
+    solution: HydraulicSolution,
+    warm_started: bool,
+}
+
 impl HydraulicNetwork {
+    /// Builds a reusable [`SolverContext`] for this topology with the
+    /// default (sparse) engine. Reuse it across repeated solves to
+    /// share the symbolic factorization and warm-start each solve from
+    /// the previous solution.
+    #[must_use]
+    pub fn solver_context(&self) -> SolverContext {
+        self.solver_context_with(SolverEngine::default())
+    }
+
+    /// [`HydraulicNetwork::solver_context`] with an explicit engine
+    /// (the dense path is the cross-check reference).
+    #[must_use]
+    pub fn solver_context_with(&self, engine: SolverEngine) -> SolverContext {
+        SolverContext::build(self, engine, None)
+    }
+
     /// Solves the steady flow distribution for the given fluid state.
     ///
     /// # Errors
@@ -113,6 +381,21 @@ impl HydraulicNetwork {
     /// failures from degenerate networks.
     pub fn solve(&self, fluid: &FluidState) -> Result<HydraulicSolution, HydraulicError> {
         self.solve_with(fluid, &SolveOptions::default())
+    }
+
+    /// [`HydraulicNetwork::solve`] through a reusable context: the
+    /// symbolic factorization is shared and, when `ctx` holds a seed
+    /// from a previous success, the solve starts warm.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_in(
+        &self,
+        fluid: &FluidState,
+        ctx: &mut SolverContext,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_observed_in(fluid, &SolveOptions::default(), ctx, Registry::disabled())
     }
 
     /// [`HydraulicNetwork::solve`] with telemetry recorded into `obs`
@@ -127,6 +410,20 @@ impl HydraulicNetwork {
         obs: &Registry,
     ) -> Result<HydraulicSolution, HydraulicError> {
         self.solve_with_observed(fluid, &SolveOptions::default(), obs)
+    }
+
+    /// [`HydraulicNetwork::solve_observed`] through a reusable context.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_observed_in(
+        &self,
+        fluid: &FluidState,
+        ctx: &mut SolverContext,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_observed_in(fluid, &SolveOptions::default(), ctx, obs)
     }
 
     /// Solves with explicit damping/budget options.
@@ -159,9 +456,28 @@ impl HydraulicNetwork {
         opts: &SolveOptions,
         obs: &Registry,
     ) -> Result<HydraulicSolution, HydraulicError> {
+        let mut ctx = self.solver_context();
+        self.solve_with_observed_in(fluid, opts, &mut ctx, obs)
+    }
+
+    /// [`HydraulicNetwork::solve_with_observed`] through a reusable
+    /// context: same telemetry, plus a `hydraulics.warm_starts` work
+    /// counter when the attempt converged from a warm seed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve`].
+    pub fn solve_with_observed_in(
+        &self,
+        fluid: &FluidState,
+        opts: &SolveOptions,
+        ctx: &mut SolverContext,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
         obs.inc("hydraulics.solve.calls");
-        match self.solve_inner(fluid, opts) {
-            Ok(solution) => {
+        match self.solve_inner(fluid, opts, ctx) {
+            Ok(outcome) => {
+                let solution = outcome.solution;
                 obs.inc("hydraulics.solve.converged");
                 obs.record_histogram(
                     "hydraulics.solve.iterations",
@@ -179,6 +495,9 @@ impl HydraulicNetwork {
                     solution.worst_residual_m3s(),
                 );
                 self.record_solver_work(obs, solution.iterations() as u64);
+                if outcome.warm_started {
+                    obs.work("hydraulics.warm_starts", 1);
+                }
                 Ok(solution)
             }
             Err(InnerError::Stalled(fail)) => {
@@ -200,9 +519,9 @@ impl HydraulicNetwork {
     }
 
     /// Rolls one solve attempt's deterministic effort into the work
-    /// profile: outer iterations, one nodal-matrix factorization per
-    /// iteration, and iterations × unknown pressure nodes (the figure
-    /// that actually scales the dense elimination).
+    /// profile: outer iterations, one numeric factorization of the
+    /// nodal matrix per iteration, and iterations × unknown pressure
+    /// nodes (the figure that scales the per-iteration elimination).
     fn record_solver_work(&self, obs: &Registry, iterations: u64) {
         let unknowns = self.junctions.len().saturating_sub(1) as u64;
         obs.work("hydraulics.iterations", iterations);
@@ -226,6 +545,19 @@ impl HydraulicNetwork {
         self.solve_with_ladder(fluid, &SolveOptions::ladder())
     }
 
+    /// [`HydraulicNetwork::solve_robust`] through a reusable context.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_robust`].
+    pub fn solve_robust_in(
+        &self,
+        fluid: &FluidState,
+        ctx: &mut SolverContext,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_robust_observed_in(fluid, ctx, Registry::disabled())
+    }
+
     /// [`HydraulicNetwork::solve_robust`] with telemetry recorded into
     /// `obs` (see [`HydraulicNetwork::solve_with_ladder_observed`]).
     ///
@@ -238,6 +570,28 @@ impl HydraulicNetwork {
         obs: &Registry,
     ) -> Result<HydraulicSolution, HydraulicError> {
         self.solve_with_ladder_observed(fluid, &SolveOptions::ladder(), obs)
+    }
+
+    /// [`HydraulicNetwork::solve_robust_observed`] through a reusable
+    /// context: the warm seed (if any) feeds the first rung; later
+    /// rungs restart cold, exactly like the stateless ladder.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_robust`].
+    pub fn solve_robust_observed_in(
+        &self,
+        fluid: &FluidState,
+        ctx: &mut SolverContext,
+        obs: &Registry,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_traced_in(
+            fluid,
+            &SolveOptions::ladder(),
+            ctx,
+            obs,
+            TraceRecorder::disabled(),
+        )
     }
 
     /// Solves through an explicit retry ladder (see
@@ -306,11 +660,33 @@ impl HydraulicNetwork {
     /// # Errors
     ///
     /// Same contract as [`HydraulicNetwork::solve_with_ladder`].
-    #[allow(clippy::cast_precision_loss)]
     pub fn solve_with_ladder_traced(
         &self,
         fluid: &FluidState,
         rungs: &[SolveOptions],
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<HydraulicSolution, HydraulicError> {
+        let mut ctx = self.solver_context();
+        self.solve_with_ladder_traced_in(fluid, rungs, &mut ctx, obs, trace)
+    }
+
+    /// [`HydraulicNetwork::solve_with_ladder_traced`] through a
+    /// reusable context: the symbolic factorization is shared by every
+    /// rung, the warm seed (if any) feeds the first rung only — a seed
+    /// that failed to converge is discarded, so damped rungs restart
+    /// cold exactly like the stateless ladder — and a converged rung
+    /// leaves its flows as the next solve's seed.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_with_ladder`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn solve_with_ladder_traced_in(
+        &self,
+        fluid: &FluidState,
+        rungs: &[SolveOptions],
+        ctx: &mut SolverContext,
         obs: &Registry,
         trace: &TraceRecorder,
     ) -> Result<HydraulicSolution, HydraulicError> {
@@ -323,8 +699,9 @@ impl HydraulicNetwork {
         let mut attempts = Vec::new();
         let mut last_failure: Option<SolveFailure> = None;
         for (rung, opts) in rungs.iter().enumerate() {
-            match self.solve_inner(fluid, opts) {
-                Ok(solution) => {
+            match self.solve_inner(fluid, opts, ctx) {
+                Ok(outcome) => {
+                    let solution = outcome.solution;
                     obs.inc("hydraulics.ladder.converged");
                     obs.add("hydraulics.ladder.escalations", rung as u64);
                     obs.record_histogram("hydraulics.ladder.rung", &RUNG_BOUNDS, rung as u64);
@@ -339,6 +716,9 @@ impl HydraulicNetwork {
                         residual_decade(solution.worst_residual_m3s()),
                     );
                     self.record_solver_work(obs, solution.iterations() as u64);
+                    if outcome.warm_started {
+                        obs.work("hydraulics.warm_starts", 1);
+                    }
                     trace.record_named(
                         "hydraulics.ladder.residual",
                         ChannelKind::Residual,
@@ -393,36 +773,94 @@ impl HydraulicNetwork {
         })
     }
 
+    /// Solves a parameter sweep: `configure` mutates the network for
+    /// step `i` (valve trims, branch failures, a new fluid state) and
+    /// each step is solved through the robust ladder with a shared
+    /// context. With `warm = true` every step starts from the previous
+    /// step's solution — the neighboring solve is the cheapest possible
+    /// starting point — while `warm = false` solves every step cold
+    /// (the cross-check the warm path is validated against).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first step's solver failure.
+    pub fn solve_sweep<F>(
+        &mut self,
+        steps: usize,
+        warm: bool,
+        configure: F,
+    ) -> Result<Vec<HydraulicSolution>, HydraulicError>
+    where
+        F: FnMut(&mut Self, usize) -> FluidState,
+    {
+        self.solve_sweep_observed(steps, warm, Registry::disabled(), configure)
+    }
+
+    /// [`HydraulicNetwork::solve_sweep`] with every step's ladder
+    /// telemetry recorded into `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_sweep`].
+    pub fn solve_sweep_observed<F>(
+        &mut self,
+        steps: usize,
+        warm: bool,
+        obs: &Registry,
+        mut configure: F,
+    ) -> Result<Vec<HydraulicSolution>, HydraulicError>
+    where
+        F: FnMut(&mut Self, usize) -> FluidState,
+    {
+        let mut ctx = self.solver_context();
+        let mut out = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let fluid = configure(self, i);
+            if !warm {
+                ctx.clear_seed();
+            }
+            out.push(self.solve_robust_observed_in(&fluid, &mut ctx, obs)?);
+        }
+        Ok(out)
+    }
+
     fn solve_inner(
         &self,
         fluid: &FluidState,
         opts: &SolveOptions,
-    ) -> Result<HydraulicSolution, InnerError> {
+        ctx: &mut SolverContext,
+    ) -> Result<SolveOutcome, InnerError> {
+        ctx.ensure(self);
         let n_junctions = self.junctions.len();
-        let reference = self.reference.map_or(0, |r| r.0);
-        // Unknown pressure nodes: all but the reference.
-        let unknowns: Vec<usize> = (0..n_junctions).filter(|&j| j != reference).collect();
-        let col_of: std::collections::HashMap<usize, usize> =
-            unknowns.iter().enumerate().map(|(c, &j)| (j, c)).collect();
-        let n = unknowns.len();
+        let reference = ctx.reference;
+        let n = ctx.unknowns.len();
 
-        // Initial guess: a small uniform flow through every open branch.
-        let mut flows: Vec<f64> = self
-            .branches
-            .iter()
-            .map(|b| if b.open { 1e-4 } else { 0.0 })
-            .collect();
+        // Initial guess: the previous solution's flows when the context
+        // carries a seed (closed branches forced shut), else a small
+        // uniform flow through every open branch.
+        let seed = ctx.take_seed(self);
+        let warm_started = seed.is_some();
+        let mut flows: Vec<f64> = match seed {
+            Some(mut w) => {
+                for (q, b) in w.iter_mut().zip(&self.branches) {
+                    if !b.open {
+                        *q = 0.0;
+                    }
+                }
+                w
+            }
+            None => self
+                .branches
+                .iter()
+                .map(|b| if b.open { 1e-4 } else { 0.0 })
+                .collect(),
+        };
+        let min_iter = if warm_started {
+            MIN_ITER_WARM
+        } else {
+            MIN_ITER_COLD
+        };
         let mut pressures = vec![0.0; n_junctions];
-
-        // Isolation comes from branch incidence, not from scanning the
-        // assembled matrix for exact float zeros: a junction is isolated
-        // iff no open branch touches it (branch openness is fixed for
-        // the whole solve, so this is computed once).
-        let mut touched = vec![false; n_junctions];
-        for b in self.branches.iter().filter(|b| b.open) {
-            touched[b.from.0] = true;
-            touched[b.to.0] = true;
-        }
 
         let mut last_residual = f64::INFINITY;
         let mut worst_junction = 0usize;
@@ -440,43 +878,18 @@ impl HydraulicNetwork {
                 d[k] = 1.0 / b.drop_derivative(q, fluid).max(1e-9);
             }
 
-            // Assemble nodal system A p = rhs over unknown junctions.
-            let mut a = Matrix::zeros(n.max(1), n.max(1));
-            let mut rhs = vec![0.0; n.max(1)];
+            // Assemble and solve the nodal system A p = rhs over the
+            // unknown junctions with the context's engine.
             if n > 0 {
-                for (k, b) in self.branches.iter().enumerate() {
-                    if !b.open {
-                        continue;
-                    }
-                    let (i, j) = (b.from.0, b.to.0);
-                    // Linearized: Qnew = Q + D*(p_i - p_j - h)
-                    let q_lin = flows[k] - d[k] * h[k];
-                    if let Some(&ci) = col_of.get(&i) {
-                        a[(ci, ci)] += d[k];
-                        rhs[ci] -= q_lin;
-                        if let Some(&cj) = col_of.get(&j) {
-                            a[(ci, cj)] -= d[k];
-                        }
-                    }
-                    if let Some(&cj) = col_of.get(&j) {
-                        a[(cj, cj)] += d[k];
-                        rhs[cj] += q_lin;
-                        if let Some(&ci) = col_of.get(&i) {
-                            a[(cj, ci)] -= d[k];
-                        }
-                    }
-                }
-                // Isolated junctions would produce a zero row; pin them
-                // to the reference pressure instead.
-                for (row, &j) in unknowns.iter().enumerate() {
-                    if !touched[j] {
-                        a[(row, row)] = 1.0;
-                        rhs[row] = 0.0;
-                    }
-                }
-
-                let p = a.solve(&rhs).map_err(|e| InnerError::Other(e.into()))?;
-                for (c, &j) in unknowns.iter().enumerate() {
+                let p = match ctx.engine {
+                    SolverEngine::Sparse => self
+                        .solve_nodal_sparse(ctx, &flows, &h, &d)
+                        .map_err(|e| InnerError::Other(e.into()))?,
+                    SolverEngine::Dense => self
+                        .solve_nodal_dense(ctx, &flows, &h, &d)
+                        .map_err(|e| InnerError::Other(e.into()))?,
+                };
+                for (c, &j) in ctx.unknowns.iter().enumerate() {
                     pressures[j] = p[c];
                 }
                 pressures[reference] = 0.0;
@@ -530,16 +943,20 @@ impl HydraulicNetwork {
 
             if worst < CONTINUITY_TOL.max(1e-9 * scale)
                 && worst_head < 1e-7 * head_scale
-                && iter > 2
+                && iter >= min_iter
             {
-                return Ok(HydraulicSolution::new(
-                    self.clone(),
-                    *fluid,
-                    pressures,
-                    flows,
-                    iter + 1,
-                    worst,
-                ));
+                ctx.warm_flows = Some(flows.clone());
+                return Ok(SolveOutcome {
+                    solution: HydraulicSolution::new(
+                        self.clone(),
+                        *fluid,
+                        pressures,
+                        flows,
+                        iter + 1,
+                        worst,
+                    ),
+                    warm_started,
+                });
             }
             last_residual = worst.max(worst_head / head_scale * scale);
         }
@@ -549,6 +966,99 @@ impl HydraulicNetwork {
             worst_junction,
             worst_branch,
         }))
+    }
+
+    /// One nodal solve on the sparse engine: scatter the linearized
+    /// conductances into the context's value workspace (same branch
+    /// order as the dense assembly, so the accumulated sums are
+    /// bit-identical), pin isolated rows, and replay the precomputed
+    /// elimination schedule.
+    fn solve_nodal_sparse(
+        &self,
+        ctx: &mut SolverContext,
+        flows: &[f64],
+        h: &[f64],
+        d: &[f64],
+    ) -> Result<Vec<f64>, rcs_numeric::NumericError> {
+        let sym = ctx.symbolic.as_ref().expect("sparse context has a plan");
+        ctx.values.fill(0.0);
+        ctx.rhs.fill(0.0);
+        for (k, b) in self.branches.iter().enumerate() {
+            if !b.open {
+                continue;
+            }
+            let sc = ctx.scatter[k];
+            // Linearized: Qnew = Q + D*(p_i - p_j - h)
+            let q_lin = flows[k] - d[k] * h[k];
+            if let Some(ci) = sc.ci {
+                ctx.values[sc.ii] += d[k];
+                ctx.rhs[ci] -= q_lin;
+                if sc.cj.is_some() {
+                    ctx.values[sc.ij] -= d[k];
+                }
+            }
+            if let Some(cj) = sc.cj {
+                ctx.values[sc.jj] += d[k];
+                ctx.rhs[cj] += q_lin;
+                if sc.ci.is_some() {
+                    ctx.values[sc.ji] -= d[k];
+                }
+            }
+        }
+        // Isolated junctions would produce a zero row; pin them to the
+        // reference pressure instead (their row holds only the
+        // diagonal — no open branch touches them, so no fill either).
+        for (row, &j) in ctx.unknowns.iter().enumerate() {
+            if !ctx.touched[j] {
+                ctx.values[sym.diag_index(row)] = 1.0;
+                ctx.rhs[row] = 0.0;
+            }
+        }
+        sym.factor_solve(&mut ctx.values, &mut ctx.rhs)?;
+        Ok(ctx.rhs.clone())
+    }
+
+    /// One nodal solve on the dense reference engine — the historical
+    /// assembly, kept as the cross-check the sparse schedule is
+    /// validated against.
+    fn solve_nodal_dense(
+        &self,
+        ctx: &SolverContext,
+        flows: &[f64],
+        h: &[f64],
+        d: &[f64],
+    ) -> Result<Vec<f64>, rcs_numeric::NumericError> {
+        let n = ctx.unknowns.len();
+        let mut a = Matrix::zeros(n.max(1), n.max(1));
+        let mut rhs = vec![0.0; n.max(1)];
+        for (k, b) in self.branches.iter().enumerate() {
+            if !b.open {
+                continue;
+            }
+            let sc = ctx.scatter[k];
+            let q_lin = flows[k] - d[k] * h[k];
+            if let Some(ci) = sc.ci {
+                a[(ci, ci)] += d[k];
+                rhs[ci] -= q_lin;
+                if let Some(cj) = sc.cj {
+                    a[(ci, cj)] -= d[k];
+                }
+            }
+            if let Some(cj) = sc.cj {
+                a[(cj, cj)] += d[k];
+                rhs[cj] += q_lin;
+                if let Some(ci) = sc.ci {
+                    a[(cj, ci)] -= d[k];
+                }
+            }
+        }
+        for (row, &j) in ctx.unknowns.iter().enumerate() {
+            if !ctx.touched[j] {
+                a[(row, row)] = 1.0;
+                rhs[row] = 0.0;
+            }
+        }
+        a.solve(&rhs)
     }
 }
 
@@ -912,5 +1422,227 @@ mod tests {
                 "junction {j}: {res:?}"
             );
         }
+    }
+
+    /// A 3-junction branched network with a valve — enough structure to
+    /// exercise off-diagonal scatter, isolated handling and reuse.
+    fn branched_net() -> (HydraulicNetwork, Vec<crate::BranchId>) {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let c = net.add_junction("c");
+        let v = Element::Valve(Valve::balancing(Length::millimeters(25.0)));
+        let ids = vec![
+            net.add_branch("ab", a, b, vec![pipe(8.0)]).unwrap(),
+            net.add_branch("bc1", b, c, vec![pipe(12.0), v]).unwrap(),
+            net.add_branch("bc2", b, c, vec![pipe(18.0)]).unwrap(),
+            net.add_branch("pump", c, a, vec![pump()]).unwrap(),
+        ];
+        (net, ids)
+    }
+
+    #[test]
+    fn sparse_and_dense_engines_agree_bitwise_on_cold_solves() {
+        let (net, ids) = branched_net();
+        let mut sparse = net.solver_context_with(SolverEngine::Sparse);
+        let mut dense = net.solver_context_with(SolverEngine::Dense);
+        let s = net.solve_in(&water(), &mut sparse).unwrap();
+        let d = net.solve_in(&water(), &mut dense).unwrap();
+        assert_eq!(s.iterations(), d.iterations());
+        for &b in &ids {
+            assert_eq!(
+                s.flow(b).cubic_meters_per_second(),
+                d.flow(b).cubic_meters_per_second(),
+                "sparse and dense engines must agree bitwise"
+            );
+        }
+        for j in net.junction_ids() {
+            assert_eq!(s.pressure(j).pascals(), d.pressure(j).pascals());
+        }
+    }
+
+    #[test]
+    fn stateless_solve_matches_fresh_context_solve_bitwise() {
+        let (net, ids) = branched_net();
+        let stateless = net.solve(&water()).unwrap();
+        let mut ctx = net.solver_context();
+        let via_ctx = net.solve_in(&water(), &mut ctx).unwrap();
+        assert_eq!(stateless.iterations(), via_ctx.iterations());
+        for &b in &ids {
+            assert_eq!(
+                stateless.flow(b).cubic_meters_per_second(),
+                via_ctx.flow(b).cubic_meters_per_second()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_converges_faster_to_the_same_solution() {
+        let (net, ids) = branched_net();
+        let mut ctx = net.solver_context();
+        let cold = net.solve_in(&water(), &mut ctx).unwrap();
+        assert!(ctx.is_warm());
+        let warm = net.solve_in(&water(), &mut ctx).unwrap();
+        assert!(
+            warm.iterations() < cold.iterations(),
+            "warm {} vs cold {}",
+            warm.iterations(),
+            cold.iterations()
+        );
+        for &b in &ids {
+            let qc = cold.flow(b).cubic_meters_per_second();
+            let qw = warm.flow(b).cubic_meters_per_second();
+            assert!(
+                (qc - qw).abs() <= 1e-9,
+                "warm flow {qw} drifted from cold {qc}"
+            );
+        }
+    }
+
+    #[test]
+    fn context_survives_valve_retrims_and_rebuilds_on_openness_change() {
+        let (mut net, ids) = branched_net();
+        let mut ctx = net.solver_context();
+        net.solve_in(&water(), &mut ctx).unwrap();
+        // a valve trim keeps the topology: the context stays warm
+        net.set_valve_opening(ids[1], 0.4).unwrap();
+        let trimmed = net.solve_in(&water(), &mut ctx).unwrap();
+        // closing a branch changes the incidence: the plan is rebuilt
+        // (keeping the neighboring seed) and the result matches a
+        // from-scratch solve of the same network within tolerance
+        net.set_branch_open(ids[1], false).unwrap();
+        let failed_warm = net.solve_in(&water(), &mut ctx).unwrap();
+        let failed_cold = net.solve(&water()).unwrap();
+        assert_eq!(failed_warm.flow(ids[1]).cubic_meters_per_second(), 0.0);
+        for &b in &ids {
+            let qw = failed_warm.flow(b).cubic_meters_per_second();
+            let qc = failed_cold.flow(b).cubic_meters_per_second();
+            assert!((qw - qc).abs() <= 1e-9, "warm {qw} vs cold {qc}");
+        }
+        assert!(trimmed.flow(ids[1]).cubic_meters_per_second() > 0.0);
+    }
+
+    #[test]
+    fn failed_attempt_discards_the_seed() {
+        let (net, _) = branched_net();
+        let mut ctx = net.solver_context();
+        net.solve_in(&water(), &mut ctx).unwrap();
+        assert!(ctx.is_warm());
+        // a starved warm attempt fails and must not leave a stale seed
+        let starved = SolveOptions::damped(0.7, 1);
+        let _ = net
+            .solve_with_observed_in(&water(), &starved, &mut ctx, Registry::disabled())
+            .unwrap_err();
+        assert!(!ctx.is_warm(), "failed attempts must clear the seed");
+        // the next solve is cold and matches the stateless path bitwise
+        let recovered = net.solve_in(&water(), &mut ctx).unwrap();
+        let stateless = net.solve(&water()).unwrap();
+        assert_eq!(recovered.iterations(), stateless.iterations());
+    }
+
+    #[test]
+    fn warm_ladder_records_warm_start_work() {
+        let (net, _) = branched_net();
+        let mut ctx = net.solver_context();
+        let obs = Registry::new();
+        net.solve_robust_observed_in(&water(), &mut ctx, &obs)
+            .unwrap();
+        net.solve_robust_observed_in(&water(), &mut ctx, &obs)
+            .unwrap();
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("hydraulics.ladder.converged"), 2);
+        assert_eq!(
+            snap.counter("profile.hydraulics.warm_starts"),
+            1,
+            "only the second solve starts from a seed"
+        );
+    }
+
+    #[test]
+    fn sweep_warm_and_cold_agree_within_solver_tolerance() {
+        let (net, ids) = branched_net();
+        let openings = [1.0, 0.8, 0.6, 0.4, 0.3, 0.5, 0.9];
+        let sweep = |warm: bool| {
+            let mut n = net.clone();
+            let valve = ids[1];
+            n.solve_sweep(openings.len(), warm, |net, i| {
+                net.set_valve_opening(valve, openings[i]).unwrap();
+                water()
+            })
+            .unwrap()
+        };
+        let cold = sweep(false);
+        let warm = sweep(true);
+        assert_eq!(cold.len(), warm.len());
+        let mut warm_iters = 0;
+        let mut cold_iters = 0;
+        for (c, w) in cold.iter().zip(&warm) {
+            cold_iters += c.iterations();
+            warm_iters += w.iterations();
+            for &b in &ids {
+                let qc = c.flow(b).cubic_meters_per_second();
+                let qw = w.flow(b).cubic_meters_per_second();
+                assert!((qc - qw).abs() <= 1e-9, "step flows {qc} vs {qw}");
+            }
+        }
+        assert!(
+            warm_iters < cold_iters,
+            "warm sweep {warm_iters} iters vs cold {cold_iters}"
+        );
+    }
+
+    #[test]
+    fn warm_starting_is_deterministic_across_repeats() {
+        // The seed is a pure function of the solve history, so two
+        // identical warm chains must agree bit for bit.
+        let (net, ids) = branched_net();
+        let chain = || {
+            let mut ctx = net.solver_context();
+            let _ = net.solve_in(&water(), &mut ctx).unwrap();
+            net.solve_in(&water(), &mut ctx).unwrap()
+        };
+        let a = chain();
+        let b = chain();
+        assert_eq!(a.iterations(), b.iterations());
+        for &id in &ids {
+            assert_eq!(
+                a.flow(id).cubic_meters_per_second(),
+                b.flow(id).cubic_meters_per_second()
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_junctions_are_pinned_identically_by_both_engines() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_junction("a");
+        let b = net.add_junction("b");
+        let stranded = net.add_junction("stranded");
+        let spur_end = net.add_junction("spur end");
+        net.add_branch("loop", a, b, vec![pipe(20.0)]).unwrap();
+        net.add_branch("pump", b, a, vec![pump()]).unwrap();
+        let spur = net
+            .add_branch("spur", b, spur_end, vec![pipe(5.0)])
+            .unwrap();
+        net.set_branch_open(spur, false).unwrap();
+        let mut sparse = net.solver_context_with(SolverEngine::Sparse);
+        let mut dense = net.solver_context_with(SolverEngine::Dense);
+        let s = net.solve_in(&water(), &mut sparse).unwrap();
+        let d = net.solve_in(&water(), &mut dense).unwrap();
+        for j in [stranded, spur_end] {
+            assert_eq!(s.pressure(j).pascals(), 0.0);
+            assert_eq!(d.pressure(j).pascals(), 0.0);
+        }
+        assert_eq!(s.flow(spur).cubic_meters_per_second(), 0.0);
+        assert_eq!(
+            s.flows()
+                .iter()
+                .map(|q| q.cubic_meters_per_second())
+                .sum::<f64>(),
+            d.flows()
+                .iter()
+                .map(|q| q.cubic_meters_per_second())
+                .sum::<f64>()
+        );
     }
 }

@@ -2,17 +2,21 @@
 //!
 //! Implemented from scratch so that the workspace has no external numeric
 //! dependencies: a dense row-major matrix with LU-style Gaussian
-//! elimination ([`Matrix::solve`]), a fixed-step fourth-order Runge-Kutta
-//! integrator ([`ode::rk4`]), bracketing/Newton root finders
-//! ([`root`]), a deterministic xoshiro256++ generator with the
-//! exponential/Poisson draws and the stream-splitting jumps the
-//! Monte-Carlo studies need ([`rng`]), and the shared order statistics
-//! they report ([`stats`]).
+//! elimination ([`Matrix::solve`]), a sparse graph-elimination kernel
+//! with reusable symbolic analysis ([`SparseSymbolic`]), a fixed-step
+//! fourth-order Runge-Kutta integrator ([`ode::rk4`]),
+//! bracketing/Newton root finders ([`root`]), a deterministic
+//! xoshiro256++ generator with the exponential/Poisson draws and the
+//! stream-splitting jumps the Monte-Carlo studies need ([`rng`]), and
+//! the shared order statistics they report ([`stats`]).
 //!
-//! These kernels are sized for the problems in this workspace — thermal
-//! networks of a few hundred nodes and hydraulic networks of a few dozen
-//! junctions — where dense `O(n³)` elimination is faster and far simpler
-//! than a sparse solver.
+//! The kernels are sized for the problems in this workspace — thermal
+//! networks of a few hundred nodes and hydraulic networks of a few
+//! dozen junctions. The dense path stays as the reference and
+//! cross-check; solvers that re-factor the same incidence structure
+//! every Newton iteration use [`SparseSymbolic`] to pay the symbolic
+//! analysis once and replay a precomputed elimination schedule per
+//! iteration.
 //!
 //! # Examples
 //!
@@ -33,6 +37,8 @@ mod matrix;
 pub mod ode;
 pub mod rng;
 pub mod root;
+mod sparse;
 pub mod stats;
 
 pub use matrix::{Matrix, NumericError};
+pub use sparse::SparseSymbolic;

@@ -391,12 +391,29 @@ impl SteadySolution {
     /// The hottest node and its temperature.
     ///
     /// Returns `None` for an empty network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any solved node temperature is non-finite — a NaN here
+    /// means an upstream solver bug, and silently ranking it as
+    /// "hottest" (or not) would forward garbage to the safety logic
+    /// that consumes this readout.
     #[must_use]
     pub fn hottest(&self) -> Option<(NodeId, Celsius)> {
         self.temperatures
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(core::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                let (ta, tb) = (a.1.degrees(), b.1.degrees());
+                assert!(
+                    ta.is_finite() && tb.is_finite(),
+                    "non-finite node temperature in solved network: \
+                     node {} = {ta} C, node {} = {tb} C",
+                    a.0,
+                    b.0
+                );
+                ta.total_cmp(&tb)
+            })
             .map(|(i, &t)| (NodeId(i), t))
     }
 
@@ -609,6 +626,19 @@ mod tests {
         net.add_heat(b, Power::from_watts(50.0)).unwrap();
         let s = net.solve_steady().unwrap();
         assert_eq!(s.hottest().unwrap().0, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite node temperature")]
+    fn hottest_rejects_non_finite_temperatures() {
+        // A NaN boundary temperature flows straight into the solved
+        // temperature vector; `hottest` must refuse to rank it rather
+        // than silently report an arbitrary "hottest node".
+        let mut net = ThermalNetwork::new();
+        let _ok = net.add_boundary("ok", Celsius::new(20.0));
+        let _poisoned = net.add_boundary("poisoned", Celsius::new(f64::NAN));
+        let s = net.solve_steady().unwrap();
+        let _ = s.hottest();
     }
 
     #[test]

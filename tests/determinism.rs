@@ -126,10 +126,17 @@ fn fleet_simulation_is_thread_count_invariant() {
 #[test]
 fn fleet_simulation_matches_golden_values() {
     // 12 modules, 5 years, seed 20180401, SKAT-designed immersion.
+    // mean_junction_c re-pinned (49.399_473_738_8 → 49.399_473_892_5,
+    // a 1.5e-7 K shift) when the immersion fixed point began
+    // warm-starting its inner hydraulic solves: the circulation flow at
+    // each outer iteration converges from the neighboring solution, so
+    // the fixed point takes an infinitesimally different path to the
+    // same physics — see the changelog. Event counts and availability
+    // draw from the pinned RNG stream and are unchanged.
     let outcome = FleetSimulation::new(12, 5.0, 20180401)
         .run(FleetConfig::ImmersionDesigned)
         .unwrap();
-    assert!((outcome.mean_junction_c - 49.399_473_738_812_53).abs() < GOLDEN_TOL);
+    assert!((outcome.mean_junction_c - 49.399_473_892_455_38).abs() < GOLDEN_TOL);
     // event counts are integers drawn from the pinned stream: exact
     assert_eq!(outcome.chip_failures, 5.0);
     assert_eq!(outcome.cooling_events, 47.0);
