@@ -32,7 +32,7 @@ use rcs_obs::report::{parse_json, Json};
 /// Median ratio (fresh / baseline) above which a benchmark fails.
 const DEFAULT_TOLERANCE: f64 = 4.0;
 
-const DEFAULT_SUITES: [&str; 3] = ["solvers", "experiments", "parallel"];
+const DEFAULT_SUITES: [&str; 4] = ["solvers", "experiments", "parallel", "query"];
 
 struct Entry {
     name: String,

@@ -233,13 +233,25 @@ impl PlausibilityFilter {
 /// values (mean of the two middles for an even count), `None` when no
 /// probe delivered anything. With three probes, one arbitrary liar
 /// cannot move the vote outside the span of the two honest probes.
+///
+/// This is a public entry point, so it cannot assume its inputs came
+/// through a [`PlausibilityFilter`]: a non-finite reading (NaN, ±inf —
+/// a broken ADC, a poisoned upstream fold) is treated like a dropout
+/// and excluded from the vote rather than panicking the supervisor or
+/// poisoning the median. The surviving finite values are ordered with
+/// `total_cmp`, which is a total order even if this filter ever changes.
 #[must_use]
 pub fn median_vote(values: &[Option<f64>]) -> Option<f64> {
-    let mut live: Vec<f64> = values.iter().copied().flatten().collect();
+    let mut live: Vec<f64> = values
+        .iter()
+        .copied()
+        .flatten()
+        .filter(|v| v.is_finite())
+        .collect();
     if live.is_empty() {
         return None;
     }
-    live.sort_by(|a, b| a.partial_cmp(b).expect("plausible readings are never NaN"));
+    live.sort_by(f64::total_cmp);
     let mid = live.len() / 2;
     if live.len() % 2 == 1 {
         Some(live[mid])
@@ -353,5 +365,26 @@ mod tests {
         assert_eq!(median_vote(&[Some(55.0), None, Some(55.4)]), Some(55.2));
         assert_eq!(median_vote(&[None, None, None]), None);
         assert_eq!(median_vote(&[]), None);
+    }
+
+    #[test]
+    fn median_vote_survives_poisoned_probes() {
+        // A NaN probe from a caller outside the PlausibilityFilter
+        // pipeline used to panic the vote; now it counts as a dropout.
+        assert_eq!(
+            median_vote(&[Some(f64::NAN), Some(55.0), Some(55.4)]),
+            Some(55.2)
+        );
+        // infinities are equally non-physical readings
+        assert_eq!(
+            median_vote(&[Some(f64::INFINITY), Some(55.0), Some(55.4)]),
+            Some(55.2)
+        );
+        assert_eq!(
+            median_vote(&[Some(f64::NEG_INFINITY), Some(f64::NAN), Some(61.0)]),
+            Some(61.0)
+        );
+        // nothing finite delivered: no vote, not a NaN vote
+        assert_eq!(median_vote(&[Some(f64::NAN), Some(f64::NAN)]), None);
     }
 }

@@ -578,7 +578,10 @@ impl FaultDrill {
                 * oil.specific_heat.joules_per_kg_kelvin();
             let q_field = (t_chip - t_bath) / lin.r_field;
             let q_hx = (t_bath - lin.supply_c) / lin.r_hx;
-            let dt = SCAN_DT.seconds();
+            // The last step of a non-multiple duration is clamped so the
+            // drill never integrates past the requested end time (exact
+            // multiples leave every step at the full SCAN_DT, bit-for-bit).
+            let dt = SCAN_DT.seconds().min(self.duration.seconds() - t.seconds());
             t_chip += dt * (p_field - q_field) / c_chip;
             t_bath += dt * (p_other + q_field - q_hx) / c_bath;
 
@@ -825,6 +828,45 @@ mod tests {
         // violating scan index is steps - violation_steps
         let open = drill.run_open_loop(&mut rng());
         Seconds::new((open.steps - open.violation_steps) as f64 * SCAN_DT.seconds())
+    }
+
+    #[test]
+    fn fractional_duration_clamps_the_final_step() {
+        // A chiller drifting hot keeps temperatures rising to the end of
+        // the horizon, so the very last integration step is visible in
+        // the peak. A 301 s drill used to take ceil(301/2) = 151 *full*
+        // 2 s steps — bit-identical to a 302 s drill, simulating one
+        // second past the requested end; now the final step integrates
+        // only the remaining 1 s.
+        let timeline = || {
+            FaultTimeline::new().with_event(
+                Seconds::minutes(1.0),
+                FaultKind::ChillerSetpointDrift {
+                    rate_k_per_hour: 45.0,
+                },
+            )
+        };
+        let frac = FaultDrill::skat("drift 301 s", timeline(), Seconds::new(301.0))
+            .run_open_loop(&mut rng());
+        let full = FaultDrill::skat("drift 302 s", timeline(), Seconds::new(302.0))
+            .run_open_loop(&mut rng());
+
+        // same scan count (the scan grid is unchanged)…
+        assert_eq!(frac.steps, 151);
+        assert_eq!(full.steps, 151);
+        // …but the clamped run must stop short of the full run's peak
+        assert!(
+            frac.peak_junction < full.peak_junction,
+            "301 s drill simulated past its end: frac {:?} vs full {:?}",
+            frac.peak_junction,
+            full.peak_junction
+        );
+        // exact multiples keep every step at the full SCAN_DT: the
+        // clamped 302 s run retraces the old fixed-step trajectory, so
+        // no committed golden (all exact-multiple horizons) moves
+        let refull = FaultDrill::skat("drift 302 s", timeline(), Seconds::new(302.0))
+            .run_open_loop(&mut rng());
+        assert_eq!(full, refull);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hash;
 mod matrix;
 pub mod ode;
 pub mod rng;

@@ -1,0 +1,18 @@
+//! Prints the E18 design-query-service tables (see DESIGN.md) and emits
+//! an NDJSON run manifest (`RCS_OBS_MANIFEST` file, else stderr) whose
+//! `query.*` golden counters and `profile.query.*` work mirrors pin the
+//! cache hit/miss/eviction schedule of the experiment.
+
+use rcs_obs::Registry;
+use rcs_query::e18_query_service;
+
+fn main() {
+    let obs = Registry::new();
+    let tables = e18_query_service::run(&obs);
+    rcs_core::experiments::finish_run(
+        "e18_query_service",
+        Some(e18_query_service::SEED),
+        &tables,
+        &obs,
+    );
+}

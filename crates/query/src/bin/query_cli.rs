@@ -1,0 +1,144 @@
+//! Batch front end of the design-query service.
+//!
+//! Each positional argument is one `key=value` query spec (see
+//! `DesignQuery::parse`); `--file PATH` appends one spec per line
+//! (blank lines and `#` comments skipped); `--demo` appends the E18
+//! grid. All requests run as one batch through a shared cache, so
+//! duplicated specs are answered by one solve:
+//!
+//! ```text
+//! query_cli "family=skat util=0.85" "family=skat_plus bath=skat_plus util=1.0"
+//! query_cli --demo --capacity 8
+//! ```
+//!
+//! Options: `--capacity N` (cache slots, default 32), `--threads N`
+//! (default `RCS_THREADS` / host parallelism). Exits nonzero on a bad
+//! spec or a design point the solvers reject.
+
+use std::process::ExitCode;
+
+use rcs_core::experiments::Table;
+use rcs_obs::Registry;
+use rcs_query::{e18_query_service, DesignQuery, QueryEngine};
+
+fn usage() -> &'static str {
+    "usage: query_cli [--capacity N] [--threads N] [--file PATH] [--demo] [SPEC...]\n\
+     each SPEC is key=value pairs, e.g. \"family=skat coolant=src_dielectric \
+     bath=skat util=0.85 trials=256 seed=42\""
+}
+
+fn parse_args() -> Result<(usize, usize, Vec<DesignQuery>), String> {
+    let mut capacity = 32usize;
+    let mut threads = rcs_parallel::thread_count();
+    let mut queries = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--capacity" | "--threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a value\n{}", usage()))?;
+                let n: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("{arg} needs a positive integer, got {value:?}"))?;
+                if arg == "--capacity" {
+                    capacity = n;
+                } else {
+                    threads = n;
+                }
+            }
+            "--file" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| format!("--file needs a path\n{}", usage()))?;
+                let body = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                for line in body.lines() {
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    queries.push(DesignQuery::parse(line).map_err(|e| e.to_string())?);
+                }
+            }
+            "--demo" => queries.extend(e18_query_service::batch()),
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            spec => queries.push(DesignQuery::parse(spec).map_err(|e| e.to_string())?),
+        }
+    }
+    if queries.is_empty() {
+        return Err(format!("no queries given\n{}", usage()));
+    }
+    Ok((capacity, threads, queries))
+}
+
+fn main() -> ExitCode {
+    let (capacity, threads, queries) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("query_cli: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let obs = Registry::new();
+    let mut engine = QueryEngine::new(capacity);
+    let verdicts = match engine.run_batch(&queries, threads, &obs) {
+        Ok(verdicts) => verdicts,
+        Err(e) => {
+            eprintln!("query_cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let rows = queries
+        .iter()
+        .zip(&verdicts)
+        .map(|(q, v)| {
+            vec![
+                q.spec(),
+                format!("{:016x}", v.query_hash),
+                format!("{:.1}", v.junction_c),
+                format!("{:.3}", v.cooling_overhead),
+                format!("{:.6}", v.availability_mean),
+                format!("{:.1}", v.annual_energy_kwh),
+                if v.compliant { "yes" } else { "no" }.to_owned(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        Table::new(
+            format!(
+                "design-query verdicts ({} requests, {threads} threads)",
+                queries.len()
+            ),
+            &[
+                "query",
+                "hash",
+                "junction [°C]",
+                "overhead",
+                "avail (mean)",
+                "annual [kWh]",
+                "compliant",
+            ],
+            rows,
+        )
+    );
+
+    let snap = obs.snapshot();
+    println!(
+        "cache: {} hits, {} misses, {} coalesced, {} evictions ({} resident / capacity {capacity})",
+        snap.counter("query.cache.hits"),
+        snap.counter("query.cache.misses"),
+        snap.counter("query.batch.coalesced"),
+        snap.counter("query.cache.evictions"),
+        engine.cache().len(),
+    );
+    ExitCode::SUCCESS
+}

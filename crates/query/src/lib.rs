@@ -1,0 +1,781 @@
+//! The design-query service: a long-running front end over the solvers.
+//!
+//! A designer (or a batch driver such as the `query_cli` binary) asks
+//! "what does a SKAT-class module in this bath at this utilization look
+//! like?" many times over a session, and most of those questions repeat.
+//! This crate turns each question into a [`DesignQuery`] with a
+//! *canonical encoding* — fixed field order, length-prefixed strings,
+//! canonicalized float bits — hashed by the vendored
+//! [`rcs_numeric::hash::Fnv1a`] into a 64-bit content address. A bounded
+//! [`QueryCache`] maps that address to the solved [`DesignVerdict`]
+//! (steady-state temperatures, availability, annual energy, compliance),
+//! and the [`QueryEngine`] batch scheduler answers whole request lists:
+//! hits are served from the cache, in-batch duplicates are coalesced,
+//! and the remaining distinct misses are solved concurrently over
+//! [`rcs_parallel::par_map_observed`].
+//!
+//! # Determinism contract
+//!
+//! Everything observable is a pure function of the request list and the
+//! cache state — never of `RCS_THREADS`:
+//!
+//! - the lookup pass is sequential in request order, against the cache
+//!   state at batch entry (inserts happen only after every lookup), so
+//!   the hit/miss/coalesced partition is thread-independent;
+//! - misses are solved in parallel but collected in first-occurrence
+//!   order, and inserted into the cache in that order, so FIFO eviction
+//!   follows insertion order exactly;
+//! - a cached verdict is returned as stored — bit-identical to the
+//!   solve that produced it — and the solvers themselves are
+//!   deterministic, so a warm cache and a cold cache produce the same
+//!   bytes.
+//!
+//! The golden `query.*` counters ([`QueryEngine::run_batch`]) and their
+//! `profile.query.*` work mirrors make the cache behaviour a pinned,
+//! diffable artifact of every run.
+//!
+//! # Examples
+//!
+//! ```
+//! use rcs_query::{DesignQuery, QueryEngine};
+//!
+//! let q = DesignQuery::parse("family=skat util=0.85 trials=64 seed=7")?;
+//! let mut engine = QueryEngine::new(8);
+//! let obs = rcs_obs::Registry::new();
+//! let verdicts = engine.run_batch(&[q.clone(), q], 1, &obs)?;
+//! assert_eq!(verdicts.len(), 2);
+//! assert!(verdicts[0].junction_c < 85.0);
+//! // The duplicate was coalesced into one solve.
+//! assert_eq!(obs.snapshot().counter("query.cache.misses"), 1);
+//! # Ok::<(), rcs_query::QueryError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod e18_query_service;
+
+use std::collections::{HashMap, VecDeque};
+
+use rcs_cooling::{availability, risk, CoolingArchitecture, ImmersionBath};
+use rcs_core::{rules, ImmersionModel};
+use rcs_devices::OperatingPoint;
+use rcs_fluids::Coolant;
+use rcs_numeric::hash::Fnv1a;
+use rcs_obs::Registry;
+use rcs_platform::{presets, ComputeModule};
+use rcs_units::{Power, Seconds};
+
+/// Version tag folded into every canonical hash, so a change to the
+/// encoding (new field, new scalar format) can never alias an old
+/// address.
+const CANON_TAG: &str = "rcs.query.v1";
+
+/// Availability horizon every verdict is judged over, in years.
+pub const HORIZON_YEARS: f64 = 3.0;
+
+/// Errors of the query layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query spec string failed to parse.
+    Parse(String),
+    /// The solvers rejected the design point.
+    Solve(String),
+}
+
+impl core::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Parse(msg) => write!(f, "query parse error: {msg}"),
+            Self::Solve(msg) => write!(f, "query solve error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Device family of a query — one of the paper's module generations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFamily {
+    /// Virtex-6 RIGEL-2 module.
+    Rigel2,
+    /// Virtex-7 TAYGETA module.
+    Taygeta,
+    /// UltraScale SKAT module.
+    Skat,
+    /// UltraScale+ SKAT+ module.
+    SkatPlus,
+}
+
+impl DeviceFamily {
+    /// Stable canonical key (part of the hash preimage — never rename).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Rigel2 => "rigel2",
+            Self::Taygeta => "taygeta",
+            Self::Skat => "skat",
+            Self::SkatPlus => "skat_plus",
+        }
+    }
+
+    /// The preset compute module of this family.
+    #[must_use]
+    pub fn module(self) -> ComputeModule {
+        match self {
+            Self::Rigel2 => presets::rigel2(),
+            Self::Taygeta => presets::taygeta(),
+            Self::Skat => presets::skat(),
+            Self::SkatPlus => presets::skat_plus(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, QueryError> {
+        match s {
+            "rigel2" => Ok(Self::Rigel2),
+            "taygeta" => Ok(Self::Taygeta),
+            "skat" => Ok(Self::Skat),
+            "skat_plus" => Ok(Self::SkatPlus),
+            other => Err(QueryError::Parse(format!(
+                "unknown family {other:?} (expected rigel2|taygeta|skat|skat_plus)"
+            ))),
+        }
+    }
+}
+
+/// Immersion coolant of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoolantChoice {
+    /// The SRC dielectric blend (the paper's working fluid).
+    SrcDielectric,
+    /// MD-4,5 mineral transformer oil.
+    MineralOilMd45,
+}
+
+impl CoolantChoice {
+    /// Stable canonical key (part of the hash preimage — never rename).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::SrcDielectric => "src_dielectric",
+            Self::MineralOilMd45 => "mineral_oil_md45",
+        }
+    }
+
+    /// The fluid property model of this choice.
+    #[must_use]
+    pub fn coolant(self) -> Coolant {
+        match self {
+            Self::SrcDielectric => Coolant::src_dielectric(),
+            Self::MineralOilMd45 => Coolant::mineral_oil_md45(),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, QueryError> {
+        match s {
+            "src_dielectric" => Ok(Self::SrcDielectric),
+            "mineral_oil_md45" => Ok(Self::MineralOilMd45),
+            other => Err(QueryError::Parse(format!(
+                "unknown coolant {other:?} (expected src_dielectric|mineral_oil_md45)"
+            ))),
+        }
+    }
+}
+
+/// Bath hardware variant of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BathVariant {
+    /// The SKAT bath: one external pump, 1150 W/K exchanger.
+    Skat,
+    /// The SKAT+ bath: two immersed pumps, 1500 W/K exchanger.
+    SkatPlus,
+}
+
+impl BathVariant {
+    /// Stable canonical key (part of the hash preimage — never rename).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Skat => "skat",
+            Self::SkatPlus => "skat_plus",
+        }
+    }
+
+    /// The preset bath with the query's coolant substituted in.
+    #[must_use]
+    pub fn bath_with(self, coolant: CoolantChoice) -> ImmersionBath {
+        let mut bath = match self {
+            Self::Skat => ImmersionBath::skat_default(),
+            Self::SkatPlus => ImmersionBath::skat_plus_default(),
+        };
+        bath.coolant = coolant.coolant();
+        bath
+    }
+
+    fn parse(s: &str) -> Result<Self, QueryError> {
+        match s {
+            "skat" => Ok(Self::Skat),
+            "skat_plus" => Ok(Self::SkatPlus),
+            other => Err(QueryError::Parse(format!(
+                "unknown bath {other:?} (expected skat|skat_plus)"
+            ))),
+        }
+    }
+}
+
+/// One design question: which module, in which bath, under which
+/// workload, judged by how many reliability trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignQuery {
+    /// Module generation.
+    pub family: DeviceFamily,
+    /// Immersion coolant.
+    pub coolant: CoolantChoice,
+    /// Bath hardware variant.
+    pub bath: BathVariant,
+    /// Workload profile as sustained FPGA utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Monte-Carlo trial budget for the availability verdict.
+    pub trials: u32,
+    /// Monte-Carlo seed.
+    pub seed: u64,
+}
+
+impl DesignQuery {
+    /// Parses a `key=value` spec, whitespace- or comma-separated, e.g.
+    /// `"family=skat coolant=src_dielectric bath=skat util=0.85
+    /// trials=256 seed=42"`. Field order is free — permuted specs of
+    /// the same query parse to the same value and therefore the same
+    /// [`canonical_hash`](Self::canonical_hash). `family` is required;
+    /// the rest default to the SKAT-paper baseline (`src_dielectric`,
+    /// `skat` bath, `util=0.85`, `trials=256`, `seed=42`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::Parse`] on unknown keys, duplicate keys,
+    /// malformed numbers, out-of-range utilization, a zero trial
+    /// budget, or a missing `family`.
+    pub fn parse(spec: &str) -> Result<Self, QueryError> {
+        let mut family = None;
+        let mut coolant = None;
+        let mut bath = None;
+        let mut utilization = None;
+        let mut trials = None;
+        let mut seed = None;
+
+        fn set<T>(slot: &mut Option<T>, key: &str, value: T) -> Result<(), QueryError> {
+            if slot.is_some() {
+                return Err(QueryError::Parse(format!("duplicate key {key:?}")));
+            }
+            *slot = Some(value);
+            Ok(())
+        }
+
+        for token in spec.split(|c: char| c.is_whitespace() || c == ',') {
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| QueryError::Parse(format!("expected key=value, got {token:?}")))?;
+            match key {
+                "family" => set(&mut family, key, DeviceFamily::parse(value)?)?,
+                "coolant" => set(&mut coolant, key, CoolantChoice::parse(value)?)?,
+                "bath" => set(&mut bath, key, BathVariant::parse(value)?)?,
+                "util" => {
+                    let u: f64 = value
+                        .parse()
+                        .map_err(|_| QueryError::Parse(format!("bad util {value:?}")))?;
+                    if !(0.0..=1.0).contains(&u) {
+                        return Err(QueryError::Parse(format!("util {u} outside [0, 1]")));
+                    }
+                    set(&mut utilization, key, u)?;
+                }
+                "trials" => {
+                    let t: u32 = value
+                        .parse()
+                        .map_err(|_| QueryError::Parse(format!("bad trials {value:?}")))?;
+                    if t == 0 {
+                        return Err(QueryError::Parse("trials must be positive".into()));
+                    }
+                    set(&mut trials, key, t)?;
+                }
+                "seed" => {
+                    let s: u64 = value
+                        .parse()
+                        .map_err(|_| QueryError::Parse(format!("bad seed {value:?}")))?;
+                    set(&mut seed, key, s)?;
+                }
+                other => return Err(QueryError::Parse(format!("unknown key {other:?}"))),
+            }
+        }
+
+        Ok(Self {
+            family: family
+                .ok_or_else(|| QueryError::Parse("missing required key family".into()))?,
+            coolant: coolant.unwrap_or(CoolantChoice::SrcDielectric),
+            bath: bath.unwrap_or(BathVariant::Skat),
+            utilization: utilization.unwrap_or(0.85),
+            trials: trials.unwrap_or(256),
+            seed: seed.unwrap_or(42),
+        })
+    }
+
+    /// The canonical spec string — parsing it reproduces `self`.
+    #[must_use]
+    pub fn spec(&self) -> String {
+        format!(
+            "family={} coolant={} bath={} util={} trials={} seed={}",
+            self.family.key(),
+            self.coolant.key(),
+            self.bath.key(),
+            self.utilization,
+            self.trials,
+            self.seed
+        )
+    }
+
+    /// The 64-bit content address of this query: the fields absorbed in
+    /// one fixed order under a version tag, strings length-prefixed and
+    /// floats canonicalized, finalized by the avalanche pass. Equal
+    /// queries — however their specs were spelled — share one hash.
+    #[must_use]
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(CANON_TAG);
+        h.write_str(self.family.key());
+        h.write_str(self.coolant.key());
+        h.write_str(self.bath.key());
+        h.write_f64(self.utilization);
+        h.write_u32(self.trials);
+        h.write_u64(self.seed);
+        h.finish()
+    }
+}
+
+/// The solved answer to one [`DesignQuery`] — everything a designer
+/// needs to accept or reject the point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignVerdict {
+    /// Content address of the query this verdict answers.
+    pub query_hash: u64,
+    /// Hottest junction temperature, °C.
+    pub junction_c: f64,
+    /// Bath bulk (hot-side) temperature, °C.
+    pub coolant_hot_c: f64,
+    /// Coolant temperature re-entering the bath, °C.
+    pub coolant_cold_c: f64,
+    /// Total heat rejected, W.
+    pub total_heat_w: f64,
+    /// Cooling power overhead fraction (pumping + chiller over IT).
+    pub cooling_overhead: f64,
+    /// Mean availability over the [`HORIZON_YEARS`] horizon.
+    pub availability_mean: f64,
+    /// 5th-percentile availability over the horizon.
+    pub availability_p05: f64,
+    /// Annual energy of the module incl. cooling, kWh.
+    pub annual_energy_kwh: f64,
+    /// Whether every operating and structural rule passes.
+    pub compliant: bool,
+}
+
+impl DesignVerdict {
+    /// Bit-exact equality: every float compared by its IEEE bits. The
+    /// determinism suite uses this instead of `==` so that even
+    /// sign-of-zero drift across thread counts or cache states fails.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.query_hash == other.query_hash
+            && self.compliant == other.compliant
+            && [
+                (self.junction_c, other.junction_c),
+                (self.coolant_hot_c, other.coolant_hot_c),
+                (self.coolant_cold_c, other.coolant_cold_c),
+                (self.total_heat_w, other.total_heat_w),
+                (self.cooling_overhead, other.cooling_overhead),
+                (self.availability_mean, other.availability_mean),
+                (self.availability_p05, other.availability_p05),
+                (self.annual_energy_kwh, other.annual_energy_kwh),
+            ]
+            .iter()
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Solves one query against the coupled steady-state model, the
+/// availability Monte-Carlo and the compliance rules. The Monte-Carlo
+/// runs serially here — batch parallelism lives in
+/// [`QueryEngine::run_batch`], and nesting pools would not change the
+/// (thread-invariant) result anyway.
+///
+/// # Errors
+///
+/// Returns [`QueryError::Solve`] when the thermal solver rejects the
+/// design point (e.g. a workload the bath cannot carry).
+pub fn solve_query(query: &DesignQuery, obs: &Registry) -> Result<DesignVerdict, QueryError> {
+    let bath = query.bath.bath_with(query.coolant);
+    let classes = risk::failure_classes(&CoolingArchitecture::Immersion(bath.clone()));
+
+    let model = ImmersionModel::new(query.family.module(), bath)
+        .with_operating_point(OperatingPoint::at_utilization(query.utilization));
+    let report = model
+        .solve_robust_observed(obs)
+        .map_err(|e| QueryError::Solve(e.to_string()))?;
+
+    let avail = availability::monte_carlo_observed(
+        &classes,
+        HORIZON_YEARS,
+        query.trials as usize,
+        query.seed,
+        1,
+        obs,
+    );
+
+    let mut checks = rules::operating_rules(&report);
+    checks.extend(rules::structural_rules(model.module()));
+
+    let total_w =
+        report.total_heat.watts() + report.circulation_power.watts() + report.chiller_power.watts();
+    let annual_energy_kwh =
+        (Power::from_watts(total_w) * Seconds::days(365.25)).as_kilowatt_hours();
+
+    Ok(DesignVerdict {
+        query_hash: query.canonical_hash(),
+        junction_c: report.junction.degrees(),
+        coolant_hot_c: report.coolant_hot.degrees(),
+        coolant_cold_c: report.coolant_cold.degrees(),
+        total_heat_w: report.total_heat.watts(),
+        cooling_overhead: report.cooling_overhead(),
+        availability_mean: avail.mean_availability,
+        availability_p05: avail.p05_availability,
+        annual_energy_kwh,
+        compliant: rules::all_pass(&checks),
+    })
+}
+
+#[derive(Clone)]
+struct CacheEntry {
+    query: DesignQuery,
+    verdict: DesignVerdict,
+}
+
+/// Bounded content-addressed verdict cache with FIFO eviction.
+///
+/// Insertion order alone decides eviction — no recency, no clocks — so
+/// the resident set after any request sequence is a pure function of
+/// that sequence. Lookups verify the stored query against the probe
+/// (`query == stored`), so a 64-bit hash collision degrades to a miss
+/// instead of serving a wrong verdict.
+#[derive(Clone)]
+pub struct QueryCache {
+    capacity: usize,
+    order: VecDeque<u64>,
+    map: HashMap<u64, CacheEntry>,
+}
+
+impl QueryCache {
+    /// An empty cache holding at most `capacity` verdicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Self {
+            capacity,
+            order: VecDeque::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum resident verdicts.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently resident verdicts.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Resident hashes, oldest (next-to-evict) first.
+    #[must_use]
+    pub fn keys_in_eviction_order(&self) -> Vec<u64> {
+        self.order.iter().copied().collect()
+    }
+
+    /// The cached verdict for `hash`, provided the stored query equals
+    /// `query` (hash-collision guard).
+    #[must_use]
+    pub fn lookup(&self, hash: u64, query: &DesignQuery) -> Option<&DesignVerdict> {
+        self.map
+            .get(&hash)
+            .filter(|e| e.query == *query)
+            .map(|e| &e.verdict)
+    }
+
+    /// Inserts a verdict, evicting the oldest entry when full; returns
+    /// the evicted hash, if any. Re-inserting a resident hash replaces
+    /// the entry in place and keeps its eviction position.
+    pub fn insert(&mut self, hash: u64, query: DesignQuery, verdict: DesignVerdict) -> Option<u64> {
+        if let Some(entry) = self.map.get_mut(&hash) {
+            *entry = CacheEntry { query, verdict };
+            return None;
+        }
+        let evicted = if self.order.len() == self.capacity {
+            let old = self.order.pop_front().expect("capacity > 0");
+            self.map.remove(&old);
+            Some(old)
+        } else {
+            None
+        };
+        self.order.push_back(hash);
+        self.map.insert(hash, CacheEntry { query, verdict });
+        evicted
+    }
+}
+
+/// The batch scheduler: a [`QueryCache`] fronting [`solve_query`].
+///
+/// [`run_batch`](Self::run_batch) records the golden counters
+/// `query.requests`, `query.batch.runs`, `query.batch.coalesced`,
+/// `query.cache.hits`, `query.cache.misses` and
+/// `query.cache.evictions`, each mirrored into `profile.query.*` work
+/// so the E18 profile golden pins the hit/miss ratio.
+#[derive(Clone)]
+pub struct QueryEngine {
+    cache: QueryCache,
+}
+
+impl QueryEngine {
+    /// An engine with an empty cache of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cache: QueryCache::new(capacity),
+        }
+    }
+
+    /// The cache, for inspection.
+    #[must_use]
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Answers a batch of queries in input order.
+    ///
+    /// Three phases, only the middle one parallel: (1) a sequential
+    /// lookup pass partitions requests into cache hits, in-batch
+    /// duplicates and distinct misses against the cache state at batch
+    /// entry; (2) the misses solve concurrently over
+    /// [`rcs_parallel::par_map_observed`] with per-shard telemetry
+    /// absorbed in miss order; (3) the solved verdicts enter the cache
+    /// in first-occurrence order, driving FIFO eviction. The returned
+    /// verdicts — and every golden counter — are bit-identical at any
+    /// `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in miss order) [`QueryError::Solve`] if a
+    /// query's design point does not converge; earlier misses of the
+    /// batch remain cached.
+    pub fn run_batch(
+        &mut self,
+        queries: &[DesignQuery],
+        threads: usize,
+        obs: &Registry,
+    ) -> Result<Vec<DesignVerdict>, QueryError> {
+        obs.inc("query.batch.runs");
+        obs.add("query.requests", queries.len() as u64);
+        obs.work("query.requests", queries.len() as u64);
+
+        // Phase 1: sequential lookup against the batch-entry cache state.
+        enum Slot {
+            Hit(DesignVerdict),
+            Miss(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(queries.len());
+        let mut misses: Vec<(u64, DesignQuery)> = Vec::new();
+        let mut miss_index: HashMap<u64, usize> = HashMap::new();
+        let mut hits = 0u64;
+        let mut coalesced = 0u64;
+        for query in queries {
+            let hash = query.canonical_hash();
+            if let Some(verdict) = self.cache.lookup(hash, query) {
+                hits += 1;
+                slots.push(Slot::Hit(verdict.clone()));
+            } else if let Some(&i) = miss_index.get(&hash).filter(|&&i| misses[i].1 == *query) {
+                coalesced += 1;
+                slots.push(Slot::Miss(i));
+            } else {
+                let i = misses.len();
+                miss_index.insert(hash, i);
+                misses.push((hash, query.clone()));
+                slots.push(Slot::Miss(i));
+            }
+        }
+        obs.add("query.cache.hits", hits);
+        obs.work("query.cache.hits", hits);
+        obs.add("query.cache.misses", misses.len() as u64);
+        obs.work("query.cache.misses", misses.len() as u64);
+        obs.add("query.batch.coalesced", coalesced);
+        obs.work("query.batch.coalesced", coalesced);
+
+        // Phase 2: solve distinct misses concurrently; results and
+        // telemetry shards come back in miss order.
+        let solved =
+            rcs_parallel::par_map_observed(misses, threads, obs, |_, (hash, query), shard| {
+                solve_query(&query, shard).map(|verdict| (hash, query, verdict))
+            });
+
+        // Phase 3: sequential insertion in miss order drives FIFO
+        // eviction deterministically.
+        let mut evictions = 0u64;
+        let mut fresh: Vec<DesignVerdict> = Vec::with_capacity(solved.len());
+        let mut first_error = None;
+        for result in solved {
+            match result {
+                Ok((hash, query, verdict)) => {
+                    if self.cache.insert(hash, query, verdict.clone()).is_some() {
+                        evictions += 1;
+                    }
+                    fresh.push(verdict);
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        obs.add("query.cache.evictions", evictions);
+        obs.work("query.cache.evictions", evictions);
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+
+        Ok(slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Hit(v) => v,
+                Slot::Miss(i) => fresh[i].clone(),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(spec: &str) -> DesignQuery {
+        DesignQuery::parse(spec).expect("valid spec")
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let a = q(
+            "family=skat_plus coolant=mineral_oil_md45 bath=skat_plus util=0.7 trials=32 seed=9",
+        );
+        assert_eq!(q(&a.spec()), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DesignQuery::parse("family=skat util=1.5").is_err());
+        assert!(DesignQuery::parse("family=skat trials=0").is_err());
+        assert!(DesignQuery::parse("family=skat family=skat").is_err());
+        assert!(
+            DesignQuery::parse("util=0.5").is_err(),
+            "family is required"
+        );
+        assert!(DesignQuery::parse("family=skat color=red").is_err());
+        assert!(DesignQuery::parse("family skat").is_err());
+    }
+
+    #[test]
+    fn distinct_queries_get_distinct_hashes() {
+        let base = q("family=skat");
+        for other in [
+            q("family=taygeta"),
+            q("family=skat util=0.8"),
+            q("family=skat trials=255"),
+            q("family=skat seed=43"),
+            q("family=skat bath=skat_plus"),
+            q("family=skat coolant=mineral_oil_md45"),
+        ] {
+            assert_ne!(base.canonical_hash(), other.canonical_hash(), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn cache_fifo_evicts_in_insertion_order() {
+        let mut cache = QueryCache::new(2);
+        let mk = |seed: u64| {
+            let query = q(&format!("family=skat seed={seed}"));
+            let hash = query.canonical_hash();
+            let verdict = DesignVerdict {
+                query_hash: hash,
+                junction_c: 0.0,
+                coolant_hot_c: 0.0,
+                coolant_cold_c: 0.0,
+                total_heat_w: 0.0,
+                cooling_overhead: 0.0,
+                availability_mean: 1.0,
+                availability_p05: 1.0,
+                annual_energy_kwh: 0.0,
+                compliant: true,
+            };
+            (hash, query, verdict)
+        };
+        let (h1, q1, v1) = mk(1);
+        let (h2, q2, v2) = mk(2);
+        let (h3, q3, v3) = mk(3);
+        assert_eq!(cache.insert(h1, q1.clone(), v1), None);
+        assert_eq!(cache.insert(h2, q2, v2), None);
+        assert_eq!(
+            cache.insert(h3, q3.clone(), v3),
+            Some(h1),
+            "oldest goes first"
+        );
+        assert_eq!(cache.keys_in_eviction_order(), vec![h2, h3]);
+        assert!(cache.lookup(h1, &q1).is_none());
+        assert!(cache.lookup(h3, &q3).is_some());
+    }
+
+    #[test]
+    fn cache_lookup_guards_against_collisions() {
+        let mut cache = QueryCache::new(2);
+        let stored = q("family=skat seed=1");
+        let probe = q("family=skat seed=2");
+        let hash = stored.canonical_hash();
+        let verdict = DesignVerdict {
+            query_hash: hash,
+            junction_c: 0.0,
+            coolant_hot_c: 0.0,
+            coolant_cold_c: 0.0,
+            total_heat_w: 0.0,
+            cooling_overhead: 0.0,
+            availability_mean: 1.0,
+            availability_p05: 1.0,
+            annual_energy_kwh: 0.0,
+            compliant: true,
+        };
+        cache.insert(hash, stored.clone(), verdict);
+        // Pretend probe collided onto the same hash: equality must veto.
+        assert!(cache.lookup(hash, &probe).is_none());
+        assert!(cache.lookup(hash, &stored).is_some());
+    }
+}

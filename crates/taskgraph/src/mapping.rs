@@ -224,9 +224,11 @@ pub fn map_time_multiplexed(graph: &TaskGraph, field: &FpgaField) -> Result<Mapp
     let throughput =
         ComputeRate::from_ops_per_second(graph.ops_per_initiation() as f64 * clock / f64::from(ii));
     // multiplexing serializes the schedule: latency stretches by II, plus
-    // inter-chip hops
+    // inter-chip hops. `path_cycles * ii` can far exceed u32 for graphs
+    // much larger than the field, so the latency math stays in f64.
     let hop_cycles = 8 * (chips_per_copy.saturating_sub(1)) as u32;
-    let fill_latency = Seconds::new(f64::from(path_cycles * ii + hop_cycles) / clock);
+    let fill_cycles = f64::from(path_cycles) * f64::from(ii) + f64::from(hop_cycles);
+    let fill_latency = Seconds::new(fill_cycles / clock);
     Ok(Mapping {
         copies: 1,
         initiation_interval: ii,
@@ -408,6 +410,39 @@ mod tests {
         .unwrap();
         assert!(four.initiation_interval < one.initiation_interval);
         assert!(four.throughput.ops_per_second() > one.throughput.ops_per_second());
+    }
+
+    #[test]
+    fn huge_graph_fill_latency_does_not_wrap_u32() {
+        // A 150k-op division chain against a single Virtex-6: the
+        // schedule is ~2.7e6 cycles long and the II is ~1.7e3, so the
+        // fill cycles (~4.7e9) exceed u32::MAX — the old u32 product
+        // wrapped and reported a bogus (far too small) fill latency.
+        let mut g = TaskGraph::new("huge-chain");
+        let mut prev = g.add_op(OpKind::Div);
+        for _ in 0..150_000 {
+            let n = g.add_op(OpKind::Div);
+            g.add_edge(prev, n).unwrap();
+            prev = n;
+        }
+        let part = rcs_devices::FpgaPart::xc6vlx240t();
+        let field = FpgaField::uniform(part.clone(), 1);
+        let m = map_time_multiplexed(&g, &field).unwrap();
+
+        let path = f64::from(g.critical_path_cycles().unwrap());
+        let ii = f64::from(m.initiation_interval);
+        let expected_cycles = path * ii; // one chip: no hop cycles
+        assert!(
+            expected_cycles > f64::from(u32::MAX),
+            "workload must exceed the u32 field to regress the old math \
+             (got {expected_cycles})"
+        );
+        let got_cycles = m.fill_latency.seconds() * part.design_clock().hertz();
+        let rel = (got_cycles - expected_cycles).abs() / expected_cycles;
+        assert!(
+            rel < 1e-12,
+            "fill latency wrapped: got {got_cycles} cycles, expected {expected_cycles}"
+        );
     }
 
     #[test]

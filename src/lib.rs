@@ -54,6 +54,7 @@ pub use rcs_numeric as numeric;
 pub use rcs_obs as obs;
 pub use rcs_parallel as parallel;
 pub use rcs_platform as platform;
+pub use rcs_query as query;
 pub use rcs_taskgraph as taskgraph;
 pub use rcs_thermal as thermal;
 pub use rcs_units as units;
