@@ -57,11 +57,7 @@ fn main() {
     for threads in thread_ladder() {
         let median = h.bench_median(&format!("query_batch/{n}q/cold/threads={threads}"), || {
             let mut engine = QueryEngine::new(2 * n);
-            black_box(
-                engine
-                    .run_batch(&queries, threads, Registry::disabled())
-                    .expect("grid solves"),
-            )
+            black_box(engine.run_batch(&queries, threads, Registry::disabled()))
         });
         if let Some(median) = median {
             cold_rows.push((threads, median));
@@ -77,20 +73,14 @@ fn main() {
     let mut warm_median = None;
     for (label, resident) in [("half", n / 2), ("warm", n)] {
         let mut warmed = QueryEngine::new(2 * n);
-        warmed
-            .run_batch(
-                &queries[..resident],
-                rcs_parallel::thread_count(),
-                Registry::disabled(),
-            )
-            .expect("warmup solves");
+        warmed.run_batch(
+            &queries[..resident],
+            rcs_parallel::thread_count(),
+            Registry::disabled(),
+        );
         let median = h.bench_median(&format!("query_batch/{n}q/hit_ratio={label}"), || {
             let mut engine = warmed.clone();
-            black_box(
-                engine
-                    .run_batch(&queries, 1, Registry::disabled())
-                    .expect("grid solves"),
-            )
+            black_box(engine.run_batch(&queries, 1, Registry::disabled()))
         });
         if label == "warm" {
             warm_median = median;

@@ -1,0 +1,21 @@
+//! Prints the E19 chaos-drill tables (see DESIGN.md) and emits an
+//! NDJSON run manifest (`RCS_OBS_MANIFEST` file, else stderr) whose
+//! `resilience.*` golden counters and `profile.resilience.*` work
+//! mirrors pin the drill's fault-injection and recovery schedule.
+
+use rcs_chaos::e19_chaos_drill;
+use rcs_obs::Registry;
+
+fn main() {
+    // The drill injects worker panics on purpose; keep their hook
+    // output out of the report.
+    rcs_chaos::silence_expected_panics();
+    let obs = Registry::new();
+    let tables = e19_chaos_drill::run(&obs);
+    rcs_core::experiments::finish_run(
+        "e19_chaos_drill",
+        Some(e19_chaos_drill::SEED),
+        &tables,
+        &obs,
+    );
+}

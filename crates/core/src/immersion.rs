@@ -436,6 +436,44 @@ impl ImmersionModel {
         Err(last.expect("ladder has at least one rung"))
     }
 
+    /// Solves with one explicit damping rung outside the standard
+    /// ladder — the hook the query layer's deterministic retry ladder
+    /// uses to push past [`ImmersionModel::solve_robust`] with
+    /// progressively heavier damping (`damping` is the blend factor
+    /// toward the new iterate; smaller is heavier). Work done by the
+    /// fixed point lands on `profile.immersion.fixed_point_iterations`
+    /// whether or not the rung converges, so work-unit budgets see every
+    /// retry attempt.
+    ///
+    /// # Errors
+    ///
+    /// As [`ImmersionModel::solve`]: [`CoreError::NoConvergence`] when
+    /// the rung's iteration budget runs out, substrate errors verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `damping` is not in `(0, 1]` or `max_iter` is zero.
+    pub fn solve_with_damping(
+        &self,
+        damping: f64,
+        max_iter: usize,
+        obs: &Registry,
+    ) -> Result<SteadyReport, CoreError> {
+        assert!(damping > 0.0 && damping <= 1.0, "damping must be in (0, 1]");
+        assert!(max_iter > 0, "max_iter must be positive");
+        let result = self.solve_damped(damping, max_iter, obs);
+        match &result {
+            Ok(report) => {
+                obs.work("immersion.fixed_point_iterations", report.iterations as u64);
+            }
+            Err(CoreError::NoConvergence { iterations, .. }) => {
+                obs.work("immersion.fixed_point_iterations", *iterations as u64);
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
     fn solve_damped(
         &self,
         damping: f64,

@@ -16,7 +16,13 @@
 //!   [`jump`]ed stream per chunk) is pinned by the seed alone;
 //! - [`thread_count`] — worker-count resolution: the `RCS_THREADS`
 //!   environment variable when set, otherwise the machine's available
-//!   parallelism.
+//!   parallelism;
+//! - [`par_map_isolated`] / [`par_map_isolated_observed`] — panic
+//!   isolation: each item runs under [`isolate`] (`catch_unwind`), so a
+//!   panicking closure yields a per-item [`WorkerPanic`] `Err` instead
+//!   of poisoning the pool and losing the rest of the batch. The
+//!   observed variant counts every caught panic on the golden
+//!   `resilience.worker.panics` counter, in input order.
 //!
 //! The pool is deliberately not work-stealing and not persistent: sweeps
 //! in this workspace are dozens-to-thousands of coarse items, where a
@@ -34,10 +40,15 @@
 //! ```
 
 #![warn(missing_docs)]
+// Resilience gate: non-test code in this crate must never take the lazy
+// panic path — a worker that `unwrap`s poisons a whole pool. Explicit
+// `panic!`/`unreachable!` with a message remain available for genuine
+// invariant violations.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::ops::Range;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
@@ -138,7 +149,11 @@ where
     // and then reports disconnection — no sentinel values needed.
     let (work_tx, work_rx) = mpsc::channel::<(usize, T)>();
     for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).expect("receiver alive while enqueueing");
+        // The receiver is alive until after this loop, so the send can
+        // only fail if the channel itself is broken — unrecoverable.
+        if work_tx.send(pair).is_err() {
+            unreachable!("work-queue receiver dropped while enqueueing");
+        }
     }
     drop(work_tx);
     let work_rx = Mutex::new(work_rx);
@@ -157,8 +172,14 @@ where
                 let mut processed = 0u64;
                 loop {
                     // Hold the lock only while pulling the next item, not
-                    // while computing on it.
-                    let next = work_rx.lock().expect("work queue poisoned").recv();
+                    // while computing on it. A poisoned lock just means a
+                    // sibling worker panicked between lock and unlock;
+                    // the queue itself is still consistent, so keep
+                    // draining it rather than cascading the failure.
+                    let next = work_rx
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .recv();
                     let Ok((index, item)) = next else { break };
                     let result = f(index, item);
                     processed += 1;
@@ -166,7 +187,7 @@ where
                         break;
                     }
                 }
-                tallies.lock().expect("tally lock poisoned")[worker] = processed;
+                tallies.lock().unwrap_or_else(PoisonError::into_inner)[worker] = processed;
             });
         }
         drop(result_tx);
@@ -177,9 +198,130 @@ where
 
     let results = slots
         .into_iter()
-        .map(|r| r.expect("every index produced exactly one result"))
+        .map(|r| r.unwrap_or_else(|| unreachable!("every index produced exactly one result")))
         .collect();
-    (results, tallies.into_inner().expect("tally lock poisoned"))
+    (
+        results,
+        tallies.into_inner().unwrap_or_else(PoisonError::into_inner),
+    )
+}
+
+/// One worker panic caught by [`isolate`] or the `par_map_isolated`
+/// family, converted into a value: the panic payload's message when it
+/// was a string (the overwhelmingly common case — `panic!`, `assert!`),
+/// a fixed placeholder otherwise. The message of a deterministic panic
+/// is itself deterministic, so it may appear in golden artifacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Human-readable panic message.
+    pub message: String,
+}
+
+impl WorkerPanic {
+    fn from_payload(payload: &(dyn std::any::Any + Send)) -> Self {
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Self { message }
+    }
+}
+
+impl core::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Runs `f` under `catch_unwind`, converting a panic into a
+/// [`WorkerPanic`] value instead of unwinding into the caller. This is
+/// the per-attempt containment primitive the query engine's retry
+/// ladder uses; the `par_map_isolated` family applies it per item.
+///
+/// `AssertUnwindSafe` is deliberate: callers of this workspace pass
+/// closures over plain data (queries, solver inputs) whose partial
+/// state is discarded on `Err`, so broken invariants cannot leak.
+///
+/// # Errors
+///
+/// Returns the caught panic as a [`WorkerPanic`].
+pub fn isolate<R>(f: impl FnOnce() -> R) -> Result<R, WorkerPanic> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|payload| WorkerPanic::from_payload(payload.as_ref()))
+}
+
+/// [`par_map_indexed`] with per-item panic isolation: each invocation of
+/// `f` runs under [`isolate`], so a panicking item becomes its own
+/// `Err(WorkerPanic)` slot while every other item's result survives.
+/// The partition into `Ok`/`Err` is a pure function of the items (a
+/// deterministic closure panics deterministically), never of the
+/// scheduler, so isolated maps stay bit-identical at every
+/// `RCS_THREADS`.
+pub fn par_map_isolated<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_indexed(items, threads, |i, x| isolate(|| f(i, x)))
+}
+
+/// [`par_map_isolated`] with telemetry: like [`par_map_observed`], `f`
+/// receives a per-item shard [`Registry`] absorbed into `obs` in input
+/// order — including the shard of a panicked item, which keeps whatever
+/// golden telemetry the item recorded before the panic (a deterministic
+/// prefix). Every caught panic additionally lands one count on the
+/// golden `resilience.worker.panics` counter, in input order.
+pub fn par_map_isolated_observed<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    obs: &Registry,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Registry) -> R + Sync,
+{
+    let n = items.len();
+    obs.inc("parallel.maps");
+    obs.add("parallel.tasks", n as u64);
+
+    let isolated = |i: usize, item: T| {
+        let shard = Registry::new();
+        let result = isolate(|| f(i, item, &shard));
+        (result, shard.snapshot())
+    };
+    let (pairs, tallies) = if threads <= 1 || n <= 1 {
+        let pairs = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| isolated(i, x))
+            .collect();
+        (pairs, vec![n as u64])
+    } else {
+        pooled_map(items, threads.min(n), &isolated)
+    };
+
+    obs.note("parallel.workers", tallies.len() as u64);
+    obs.note(
+        "parallel.worker_tasks.max",
+        tallies.iter().copied().max().unwrap_or(0),
+    );
+
+    let mut results = Vec::with_capacity(n);
+    for (result, snapshot) in pairs {
+        obs.absorb(&snapshot);
+        if result.is_err() {
+            obs.inc("resilience.worker.panics");
+            obs.work("resilience.worker.panics", 1);
+        }
+        results.push(result);
+    }
+    results
 }
 
 /// [`par_map_indexed`] with telemetry: `f` additionally receives a
@@ -520,6 +662,63 @@ mod tests {
         assert_eq!(workers, Some(&("parallel.workers".to_owned(), 4)));
         // scheduling artifacts never leak into the golden snapshot
         assert_eq!(obs.snapshot().counter("parallel.workers"), 0);
+    }
+
+    #[test]
+    fn isolate_converts_panics_into_values() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+        let err = isolate(|| -> u32 { panic!("boom {}", 7) }).unwrap_err();
+        assert_eq!(err.message, "boom 7");
+        let err = isolate(|| -> u32 { std::panic::panic_any(13u64) }).unwrap_err();
+        assert_eq!(err.message, "non-string panic payload");
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_without_losing_the_batch() {
+        for threads in [1, 2, 4] {
+            let got = par_map_isolated((0..9).collect::<Vec<u64>>(), threads, |_, x| {
+                assert!(x % 3 != 1, "injected panic on {x}");
+                x * 10
+            });
+            assert_eq!(got.len(), 9, "no item may be lost");
+            for (i, r) in got.iter().enumerate() {
+                if i % 3 == 1 {
+                    let e = r.as_ref().unwrap_err();
+                    assert!(e.message.contains("injected panic"), "{e:?}");
+                } else {
+                    assert_eq!(*r, Ok((i as u64) * 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_observed_map_counts_panics_and_is_thread_invariant() {
+        let run = |threads: usize| {
+            let obs = Registry::new();
+            let got = par_map_isolated_observed(
+                (0..20).collect::<Vec<u64>>(),
+                threads,
+                &obs,
+                |_, x, shard| {
+                    shard.inc("pre_panic_work");
+                    assert!(x % 5 != 2, "chaos {x}");
+                    x
+                },
+            );
+            (got, obs.snapshot())
+        };
+        let (ref_got, ref_snap) = run(1);
+        assert_eq!(ref_snap.counter("resilience.worker.panics"), 4);
+        assert_eq!(ref_snap.counter("profile.resilience.worker.panics"), 4);
+        // The deterministic pre-panic prefix of every shard is kept.
+        assert_eq!(ref_snap.counter("pre_panic_work"), 20);
+        assert_eq!(ref_got.iter().filter(|r| r.is_err()).count(), 4);
+        for threads in [2, 4, 7] {
+            let (got, snap) = run(threads);
+            assert_eq!(got, ref_got, "threads = {threads}");
+            assert_eq!(snap, ref_snap, "threads = {threads}");
+        }
     }
 
     #[test]

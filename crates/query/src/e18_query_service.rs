@@ -82,7 +82,12 @@ pub fn run(obs: &Registry) -> Vec<Table> {
     for round in 1..=ROUNDS {
         last = engine
             .run_batch(&queries, threads, obs)
-            .expect("E18 design points converge");
+            .into_iter()
+            .map(|outcome| match outcome {
+                crate::QueryOutcome::Ok(verdict) => verdict,
+                other => panic!("E18 design points converge exactly, got {other:?}"),
+            })
+            .collect();
         let snap = obs.snapshot();
         let delta = |name: &str| (snap.counter(name) - prev.counter(name)).to_string();
         round_rows.push(vec![

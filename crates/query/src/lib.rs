@@ -34,6 +34,21 @@
 //! `profile.query.*` work mirrors make the cache behaviour a pinned,
 //! diffable artifact of every run.
 //!
+//! # Resilience
+//!
+//! `run_batch` never fails wholesale: it returns one [`QueryOutcome`]
+//! per request — `Ok`, `Degraded` (a near-enough cached verdict served
+//! with [`DegradedProvenance`] after a terminal failure), or `Failed`
+//! with a structured, retry-classified [`QueryError`]. Behind each miss
+//! sits [`solve_query_resilient`]: per-attempt panic isolation
+//! ([`rcs_parallel::isolate`]), a bounded retry ladder that re-solves
+//! retryable errors under progressively heavier damping, and a
+//! per-query *work-unit* deadline ([`ResiliencePolicy::work_budget`],
+//! measured in `profile.*` counters — never wall clock). Faults,
+//! retries, budgets and degradations are all pure functions of the
+//! request list and cache state, so every outcome and every
+//! `resilience.*` counter is bit-identical at any `RCS_THREADS`.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,22 +57,27 @@
 //! let q = DesignQuery::parse("family=skat util=0.85 trials=64 seed=7")?;
 //! let mut engine = QueryEngine::new(8);
 //! let obs = rcs_obs::Registry::new();
-//! let verdicts = engine.run_batch(&[q.clone(), q], 1, &obs)?;
-//! assert_eq!(verdicts.len(), 2);
-//! assert!(verdicts[0].junction_c < 85.0);
+//! let outcomes = engine.run_batch(&[q.clone(), q], 1, &obs);
+//! assert_eq!(outcomes.len(), 2);
+//! let verdict = outcomes[0].verdict().ok_or("in-budget point solves")?;
+//! assert!(verdict.junction_c < 85.0);
 //! // The duplicate was coalesced into one solve.
 //! assert_eq!(obs.snapshot().counter("query.cache.misses"), 1);
-//! # Ok::<(), rcs_query::QueryError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
+// Resilience gate: non-test code in this crate must never take the
+// panic shortcut — a panic in the engine is a lost request, not a bug
+// report. (Unit tests under cfg(test) may still unwrap freely.)
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod e18_query_service;
 
 use std::collections::{HashMap, VecDeque};
 
 use rcs_cooling::{availability, risk, CoolingArchitecture, ImmersionBath};
-use rcs_core::{rules, ImmersionModel};
+use rcs_core::{rules, CoreError, ImmersionModel};
 use rcs_devices::OperatingPoint;
 use rcs_fluids::Coolant;
 use rcs_numeric::hash::Fnv1a;
@@ -73,20 +93,154 @@ const CANON_TAG: &str = "rcs.query.v1";
 /// Availability horizon every verdict is judged over, in years.
 pub const HORIZON_YEARS: f64 = 3.0;
 
-/// Errors of the query layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Structured post-mortem of a solve that did not converge: how far the
+/// retry machinery got, so a retry policy can classify the failure
+/// without string matching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Damping rungs the solver ladder attempted (0 for an injected or
+    /// synthetic non-convergence that never reached the solver).
+    pub rungs_attempted: u32,
+    /// Fixed-point / Newton iterations spent by the last attempt.
+    pub iterations: u64,
+    /// Last recorded residual, in the failing solver's own units
+    /// (kelvins for the coupled fixed point, m³/s for hydraulics);
+    /// `None` when no usable residual was produced.
+    pub last_residual: Option<f64>,
+}
+
+impl core::fmt::Display for SolveDiagnostics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} rung(s) attempted, {} iterations",
+            self.rungs_attempted, self.iterations
+        )?;
+        match self.last_residual {
+            Some(r) => write!(f, ", last residual {r:.3e}"),
+            None => write!(f, ", no residual recorded"),
+        }
+    }
+}
+
+/// Errors of the query layer. Every variant is classified as retryable
+/// or fatal by [`QueryError::is_retryable`] — the retry ladder consults
+/// the structure, never the message.
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     /// A query spec string failed to parse.
     Parse(String),
-    /// The solvers rejected the design point.
-    Solve(String),
+    /// The solvers ran out of convergence headroom — **retryable**: a
+    /// heavier-damped re-solve may still land it.
+    NoConvergence {
+        /// How far the failed solve got.
+        diagnostics: SolveDiagnostics,
+    },
+    /// The design point itself is invalid (non-finite inputs, unphysical
+    /// configuration, substrate rejection) — **fatal**: retrying cannot
+    /// change a malformed question.
+    InvalidDesign {
+        /// Explanation, taken from the rejecting layer.
+        reason: String,
+    },
+    /// A worker panicked while solving — **retryable** (isolated by
+    /// `rcs_parallel::isolate`; a transient fault clears on re-solve,
+    /// a deterministic one exhausts the ladder and degrades).
+    WorkerPanic {
+        /// The caught panic message.
+        message: String,
+    },
+    /// The per-query work-unit deadline ran out before an answer —
+    /// **fatal** for this solve (the request is shed to the degradation
+    /// path instead of burning more budget).
+    BudgetExhausted {
+        /// Work units spent when the deadline tripped.
+        spent: u64,
+        /// The policy's work-unit budget.
+        budget: u64,
+    },
+}
+
+impl QueryError {
+    /// `true` when a bounded re-solve might succeed (non-convergence,
+    /// worker panic); `false` for malformed designs, exhausted budgets
+    /// and parse errors.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::NoConvergence { .. } | Self::WorkerPanic { .. })
+    }
+
+    /// Bit-exact equality (float fields compared by IEEE bits) — the
+    /// determinism suite's replacement for `==`, which would treat NaN
+    /// residuals as unequal to themselves.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Parse(a), Self::Parse(b)) => a == b,
+            (Self::NoConvergence { diagnostics: a }, Self::NoConvergence { diagnostics: b }) => {
+                a.rungs_attempted == b.rungs_attempted
+                    && a.iterations == b.iterations
+                    && a.last_residual.map(f64::to_bits) == b.last_residual.map(f64::to_bits)
+            }
+            (Self::InvalidDesign { reason: a }, Self::InvalidDesign { reason: b }) => a == b,
+            (Self::WorkerPanic { message: a }, Self::WorkerPanic { message: b }) => a == b,
+            (
+                Self::BudgetExhausted {
+                    spent: sa,
+                    budget: ba,
+                },
+                Self::BudgetExhausted {
+                    spent: sb,
+                    budget: bb,
+                },
+            ) => sa == sb && ba == bb,
+            _ => false,
+        }
+    }
+
+    fn from_core(e: &CoreError) -> Self {
+        match e {
+            CoreError::NoConvergence {
+                iterations,
+                residual_k,
+            } => Self::NoConvergence {
+                diagnostics: SolveDiagnostics {
+                    rungs_attempted: 1,
+                    iterations: *iterations as u64,
+                    last_residual: *residual_k,
+                },
+            },
+            CoreError::Hydraulic(rcs_hydraulics::HydraulicError::Unsolvable { diagnostics }) => {
+                Self::NoConvergence {
+                    diagnostics: SolveDiagnostics {
+                        rungs_attempted: diagnostics.attempts.len() as u32,
+                        iterations: diagnostics.attempts.iter().map(|a| a.max_iter as u64).sum(),
+                        last_residual: Some(diagnostics.residual),
+                    },
+                }
+            }
+            other => Self::InvalidDesign {
+                reason: other.to_string(),
+            },
+        }
+    }
 }
 
 impl core::fmt::Display for QueryError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::Parse(msg) => write!(f, "query parse error: {msg}"),
-            Self::Solve(msg) => write!(f, "query solve error: {msg}"),
+            // Solver-side variants keep the historical "query solve
+            // error:" prefix — scripts that match on it stay stable.
+            Self::NoConvergence { diagnostics } => {
+                write!(f, "query solve error: no convergence ({diagnostics})")
+            }
+            Self::InvalidDesign { reason } => write!(f, "query solve error: {reason}"),
+            Self::WorkerPanic { message } => write!(f, "query worker panic: {message}"),
+            Self::BudgetExhausted { spent, budget } => write!(
+                f,
+                "query budget exhausted: {spent} of {budget} work units spent"
+            ),
         }
     }
 }
@@ -401,25 +555,69 @@ impl DesignVerdict {
     }
 }
 
+/// Damping rungs for retry attempts beyond the first: heavier damping
+/// than the standard robust ladder's last rung (0.1), with matching
+/// iteration headroom. Attempt `n ≥ 1` uses `RETRY_RUNGS[n - 1]`,
+/// clamped to the last rung.
+const RETRY_RUNGS: [(f64, usize); 2] = [(0.05, 2400), (0.02, 4800)];
+
 /// Solves one query against the coupled steady-state model, the
 /// availability Monte-Carlo and the compliance rules. The Monte-Carlo
 /// runs serially here — batch parallelism lives in
 /// [`QueryEngine::run_batch`], and nesting pools would not change the
 /// (thread-invariant) result anyway.
 ///
+/// Equivalent to attempt 0 of [`solve_query_at`] — the standard robust
+/// solver ladder, no retry damping.
+///
 /// # Errors
 ///
-/// Returns [`QueryError::Solve`] when the thermal solver rejects the
-/// design point (e.g. a workload the bath cannot carry).
+/// Returns [`QueryError::InvalidDesign`] for malformed design points
+/// and [`QueryError::NoConvergence`] when the solvers run out of
+/// headroom (e.g. a workload the bath cannot carry).
 pub fn solve_query(query: &DesignQuery, obs: &Registry) -> Result<DesignVerdict, QueryError> {
+    solve_query_at(query, 0, obs)
+}
+
+/// [`solve_query`] at a given rung of the retry ladder. Attempt 0 is
+/// the standard robust solve; attempts ≥ 1 re-run the coupled fixed
+/// point under `RETRY_RUNGS` damping, trading iterations for
+/// stability. Inputs are validated *before* any solver runs, so a
+/// poisoned query (NaN utilization, zero trials) fails fast as the
+/// fatal [`QueryError::InvalidDesign`] instead of panicking a worker.
+///
+/// # Errors
+///
+/// [`QueryError::InvalidDesign`] for malformed points,
+/// [`QueryError::NoConvergence`] when the chosen rung fails to land.
+pub fn solve_query_at(
+    query: &DesignQuery,
+    attempt: u32,
+    obs: &Registry,
+) -> Result<DesignVerdict, QueryError> {
+    if !query.utilization.is_finite() || !(0.0..=1.0).contains(&query.utilization) {
+        return Err(QueryError::InvalidDesign {
+            reason: format!("utilization {} outside [0, 1]", query.utilization),
+        });
+    }
+    if query.trials == 0 {
+        return Err(QueryError::InvalidDesign {
+            reason: "trials must be positive".into(),
+        });
+    }
+
     let bath = query.bath.bath_with(query.coolant);
     let classes = risk::failure_classes(&CoolingArchitecture::Immersion(bath.clone()));
 
     let model = ImmersionModel::new(query.family.module(), bath)
         .with_operating_point(OperatingPoint::at_utilization(query.utilization));
-    let report = model
-        .solve_robust_observed(obs)
-        .map_err(|e| QueryError::Solve(e.to_string()))?;
+    let report = if attempt == 0 {
+        model.solve_robust_observed(obs)
+    } else {
+        let (damping, max_iter) = RETRY_RUNGS[(attempt as usize - 1).min(RETRY_RUNGS.len() - 1)];
+        model.solve_with_damping(damping, max_iter, obs)
+    }
+    .map_err(|e| QueryError::from_core(&e))?;
 
     let avail = availability::monte_carlo_observed(
         &classes,
@@ -452,6 +650,278 @@ pub fn solve_query(query: &DesignQuery, obs: &Registry) -> Result<DesignVerdict,
     })
 }
 
+/// Knobs of the engine's resilience layer. Budgets are *work units*
+/// (the `profile.*` counter total recorded by a query's own telemetry
+/// shard) — never wall clock — so retry, shedding and degradation
+/// decisions are bit-identical at every `RCS_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Solve attempts per query (first try + retries); clamped to ≥ 1.
+    pub max_attempts: u32,
+    /// Work-unit deadline per query, checked before each attempt; the
+    /// default `u64::MAX` never trips.
+    pub work_budget: u64,
+    /// Half-width (±ε, in utilization) of the degradation window a
+    /// failed request may be answered from.
+    pub degrade_window: f64,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            work_budget: u64::MAX,
+            degrade_window: 0.1,
+        }
+    }
+}
+
+/// An engine fault injected by a [`FaultInjector`] (see `rcs-chaos`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// Panic inside the worker closure, before the solve runs.
+    Panic,
+    /// Poison the query's utilization to NaN before the solve.
+    PoisonUtilization,
+    /// Replace the solve with a fabricated non-convergence report.
+    ForceNoConvergence,
+    /// Charge this many extra work units against the query's budget
+    /// before the attempt (models a pathologically expensive request).
+    InflateWork(u64),
+}
+
+/// Supplies the fault (if any) to inject into a given attempt of a
+/// given query. Implementations must be pure functions of their
+/// arguments — the engine calls them from worker threads in arbitrary
+/// order, and the determinism contract extends to injected faults.
+pub trait FaultInjector: Sync {
+    /// The fault for `attempt` of `query`, or `None` for a clean run.
+    fn fault_for(&self, query: &DesignQuery, attempt: u32) -> Option<InjectedFault>;
+}
+
+/// The production injector: never injects anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn fault_for(&self, _query: &DesignQuery, _attempt: u32) -> Option<InjectedFault> {
+        None
+    }
+}
+
+/// Answers one query under a [`ResiliencePolicy`]: a bounded retry
+/// ladder over [`solve_query_at`], each attempt wrapped in
+/// [`rcs_parallel::isolate`] so a panicking solve becomes the retryable
+/// [`QueryError::WorkerPanic`] instead of taking down the worker.
+///
+/// `obs` should be the query's *own* shard registry (as handed out by
+/// [`rcs_parallel::par_map_isolated_observed`]): spent work is measured
+/// as the shard's `profile.*` total, so the
+/// [`work_budget`](ResiliencePolicy::work_budget) covers exactly this
+/// query's attempts — including injected cost inflation.
+///
+/// Golden counters, recorded only when the events occur:
+/// `resilience.retry.attempts`, `resilience.retry.recoveries`,
+/// `resilience.worker.panics`, `resilience.budget.exhausted`,
+/// `resilience.failures.fatal`, `resilience.failures.exhausted`, and
+/// `resilience.injected.*` for injected faults — each mirrored into
+/// `profile.*` work.
+///
+/// # Errors
+///
+/// The terminal [`QueryError`]: the first fatal error encountered, a
+/// [`QueryError::BudgetExhausted`] deadline trip, or the last retryable
+/// error once the ladder is exhausted.
+pub fn solve_query_resilient(
+    query: &DesignQuery,
+    policy: &ResiliencePolicy,
+    injector: &dyn FaultInjector,
+    obs: &Registry,
+) -> Result<DesignVerdict, QueryError> {
+    let max_attempts = policy.max_attempts.max(1);
+    let mut last_err: Option<QueryError> = None;
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            obs.inc("resilience.retry.attempts");
+            obs.work("resilience.retry.attempts", 1);
+        }
+        let fault = injector.fault_for(query, attempt);
+        if let Some(InjectedFault::InflateWork(units)) = fault {
+            obs.add("resilience.injected.cost", units);
+            obs.work("resilience.injected.cost", units);
+        }
+        let spent = rcs_obs::profile::tree(&obs.snapshot()).total;
+        if spent >= policy.work_budget {
+            obs.inc("resilience.budget.exhausted");
+            obs.work("resilience.budget.exhausted", 1);
+            return Err(QueryError::BudgetExhausted {
+                spent,
+                budget: policy.work_budget,
+            });
+        }
+        let result = rcs_parallel::isolate(|| match fault {
+            Some(InjectedFault::Panic) => {
+                obs.inc("resilience.injected.panics");
+                obs.work("resilience.injected.panics", 1);
+                panic!("injected worker panic (attempt {attempt})");
+            }
+            Some(InjectedFault::PoisonUtilization) => {
+                obs.inc("resilience.injected.poisoned");
+                obs.work("resilience.injected.poisoned", 1);
+                let mut poisoned = query.clone();
+                poisoned.utilization = f64::NAN;
+                solve_query_at(&poisoned, attempt, obs)
+            }
+            Some(InjectedFault::ForceNoConvergence) => {
+                obs.inc("resilience.injected.no_convergence");
+                obs.work("resilience.injected.no_convergence", 1);
+                Err(QueryError::NoConvergence {
+                    diagnostics: SolveDiagnostics {
+                        rungs_attempted: 0,
+                        iterations: 0,
+                        last_residual: None,
+                    },
+                })
+            }
+            _ => solve_query_at(query, attempt, obs),
+        });
+        let err = match result {
+            Ok(Ok(verdict)) => {
+                if attempt > 0 {
+                    obs.inc("resilience.retry.recoveries");
+                    obs.work("resilience.retry.recoveries", 1);
+                }
+                return Ok(verdict);
+            }
+            Ok(Err(e)) => e,
+            Err(panic) => {
+                obs.inc("resilience.worker.panics");
+                obs.work("resilience.worker.panics", 1);
+                QueryError::WorkerPanic {
+                    message: panic.message,
+                }
+            }
+        };
+        if !err.is_retryable() {
+            obs.inc("resilience.failures.fatal");
+            obs.work("resilience.failures.fatal", 1);
+            return Err(err);
+        }
+        last_err = Some(err);
+    }
+    obs.inc("resilience.failures.exhausted");
+    obs.work("resilience.failures.exhausted", 1);
+    Err(last_err
+        .unwrap_or_else(|| unreachable!("max_attempts >= 1 guarantees at least one attempt")))
+}
+
+/// Provenance attached to a [`QueryOutcome::Degraded`] answer: which
+/// cached design point stood in, how far off it was, and the terminal
+/// error the substitution papered over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedProvenance {
+    /// Canonical hash of the query that was asked.
+    pub requested_hash: u64,
+    /// Canonical hash of the cached query whose verdict was served.
+    pub source_hash: u64,
+    /// `|source.utilization − requested.utilization|`.
+    pub delta_utilization: f64,
+    /// The error that forced degradation.
+    pub error: QueryError,
+}
+
+impl DegradedProvenance {
+    /// Bit-exact equality (floats by IEEE bits).
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        self.requested_hash == other.requested_hash
+            && self.source_hash == other.source_hash
+            && self.delta_utilization.to_bits() == other.delta_utilization.to_bits()
+            && self.error.bitwise_eq(&other.error)
+    }
+}
+
+/// Per-request result of [`QueryEngine::run_batch`]. A batch returns
+/// one outcome per request, in request order — a failure never takes
+/// its siblings down with it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Solved (or cache-served) exactly as asked.
+    Ok(DesignVerdict),
+    /// The solve failed terminally, but a resident verdict within the
+    /// policy's degradation window answered in its place.
+    Degraded {
+        /// The stand-in verdict (a *different* design point — check
+        /// the provenance before trusting it blindly).
+        verdict: DesignVerdict,
+        /// Which entry stood in, and why it had to.
+        provenance: DegradedProvenance,
+    },
+    /// No answer: the terminal error, with no cache entry close enough
+    /// to degrade onto.
+    Failed(QueryError),
+}
+
+impl QueryOutcome {
+    /// The verdict, if any — exact for `Ok`, approximate for
+    /// `Degraded`, `None` for `Failed`.
+    #[must_use]
+    pub fn verdict(&self) -> Option<&DesignVerdict> {
+        match self {
+            Self::Ok(v) | Self::Degraded { verdict: v, .. } => Some(v),
+            Self::Failed(_) => None,
+        }
+    }
+
+    /// The terminal error behind a `Failed` outcome.
+    #[must_use]
+    pub fn error(&self) -> Option<&QueryError> {
+        match self {
+            Self::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// `true` for an exact answer.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok(_))
+    }
+
+    /// `true` for a degraded stand-in answer.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded { .. })
+    }
+
+    /// `true` when the request got no answer at all.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Self::Failed(_))
+    }
+
+    /// Bit-exact equality across the whole outcome (verdict floats,
+    /// provenance, error payloads) — the determinism suite's `==`.
+    #[must_use]
+    pub fn bitwise_eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Ok(a), Self::Ok(b)) => a.bitwise_eq(b),
+            (
+                Self::Degraded {
+                    verdict: va,
+                    provenance: pa,
+                },
+                Self::Degraded {
+                    verdict: vb,
+                    provenance: pb,
+                },
+            ) => va.bitwise_eq(vb) && pa.bitwise_eq(pb),
+            (Self::Failed(a), Self::Failed(b)) => a.bitwise_eq(b),
+            _ => false,
+        }
+    }
+}
+
 #[derive(Clone)]
 struct CacheEntry {
     query: DesignQuery,
@@ -473,14 +943,12 @@ pub struct QueryCache {
 }
 
 impl QueryCache {
-    /// An empty cache holding at most `capacity` verdicts.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// An empty cache holding at most `capacity` verdicts. A capacity
+    /// of zero is a pure pass-through: every lookup misses, every
+    /// insert is a no-op (no insert-then-evict churn, no eviction
+    /// counts) — useful for benchmarking the uncached solve path.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
         Self {
             capacity,
             order: VecDeque::with_capacity(capacity),
@@ -524,16 +992,20 @@ impl QueryCache {
 
     /// Inserts a verdict, evicting the oldest entry when full; returns
     /// the evicted hash, if any. Re-inserting a resident hash replaces
-    /// the entry in place and keeps its eviction position.
+    /// the entry in place and keeps its eviction position. At capacity
+    /// zero the insert is a no-op and nothing is ever "evicted".
     pub fn insert(&mut self, hash: u64, query: DesignQuery, verdict: DesignVerdict) -> Option<u64> {
+        if self.capacity == 0 {
+            return None;
+        }
         if let Some(entry) = self.map.get_mut(&hash) {
             *entry = CacheEntry { query, verdict };
             return None;
         }
         let evicted = if self.order.len() == self.capacity {
-            let old = self.order.pop_front().expect("capacity > 0");
-            self.map.remove(&old);
-            Some(old)
+            self.order.pop_front().inspect(|old| {
+                self.map.remove(old);
+            })
         } else {
             None
         };
@@ -541,31 +1013,84 @@ impl QueryCache {
         self.map.insert(hash, CacheEntry { query, verdict });
         evicted
     }
+
+    /// The nearest resident verdict usable as a *degraded* stand-in for
+    /// `query`: same family, coolant and bath, utilization within
+    /// `±window`. Entries are scanned in eviction (insertion) order;
+    /// the strictly smallest `|Δutilization|` wins and ties keep the
+    /// earliest-inserted entry, so the choice is a pure function of the
+    /// cache state. A non-finite probe utilization (or window) matches
+    /// nothing.
+    #[must_use]
+    pub fn nearest_within(
+        &self,
+        query: &DesignQuery,
+        window: f64,
+    ) -> Option<(&DesignQuery, &DesignVerdict)> {
+        let mut best: Option<(f64, &CacheEntry)> = None;
+        for hash in &self.order {
+            let Some(entry) = self.map.get(hash) else {
+                continue;
+            };
+            if entry.query.family != query.family
+                || entry.query.coolant != query.coolant
+                || entry.query.bath != query.bath
+            {
+                continue;
+            }
+            let delta = (entry.query.utilization - query.utilization).abs();
+            if delta.is_nan() || delta > window {
+                continue;
+            }
+            match best {
+                Some((best_delta, _)) if delta >= best_delta => {}
+                _ => best = Some((delta, entry)),
+            }
+        }
+        best.map(|(_, e)| (&e.query, &e.verdict))
+    }
 }
 
-/// The batch scheduler: a [`QueryCache`] fronting [`solve_query`].
+/// The batch scheduler: a [`QueryCache`] fronting
+/// [`solve_query_resilient`].
 ///
 /// [`run_batch`](Self::run_batch) records the golden counters
 /// `query.requests`, `query.batch.runs`, `query.batch.coalesced`,
 /// `query.cache.hits`, `query.cache.misses` and
 /// `query.cache.evictions`, each mirrored into `profile.query.*` work
-/// so the E18 profile golden pins the hit/miss ratio.
+/// so the E18 profile golden pins the hit/miss ratio; resilience
+/// events additionally land on `query.outcomes.*` and `resilience.*`
+/// counters (recorded only when nonzero, so a clean batch's manifest
+/// is unchanged).
 #[derive(Clone)]
 pub struct QueryEngine {
     cache: QueryCache,
+    policy: ResiliencePolicy,
 }
 
 impl QueryEngine {
-    /// An engine with an empty cache of the given capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity` is zero.
+    /// An engine with an empty cache of the given capacity (zero means
+    /// pass-through — see [`QueryCache::new`]) and the default
+    /// [`ResiliencePolicy`].
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         Self {
             cache: QueryCache::new(capacity),
+            policy: ResiliencePolicy::default(),
         }
+    }
+
+    /// Replaces the resilience policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ResiliencePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active resilience policy.
+    #[must_use]
+    pub fn policy(&self) -> &ResiliencePolicy {
+        &self.policy
     }
 
     /// The cache, for inspection.
@@ -574,29 +1099,49 @@ impl QueryEngine {
         &self.cache
     }
 
-    /// Answers a batch of queries in input order.
-    ///
-    /// Three phases, only the middle one parallel: (1) a sequential
-    /// lookup pass partitions requests into cache hits, in-batch
-    /// duplicates and distinct misses against the cache state at batch
-    /// entry; (2) the misses solve concurrently over
-    /// [`rcs_parallel::par_map_observed`] with per-shard telemetry
-    /// absorbed in miss order; (3) the solved verdicts enter the cache
-    /// in first-occurrence order, driving FIFO eviction. The returned
-    /// verdicts — and every golden counter — are bit-identical at any
-    /// `threads`.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first (in miss order) [`QueryError::Solve`] if a
-    /// query's design point does not converge; earlier misses of the
-    /// batch remain cached.
+    /// Answers a batch of queries in input order, one [`QueryOutcome`]
+    /// per request — this call never fails wholesale and never loses a
+    /// request. Equivalent to [`run_batch_with`](Self::run_batch_with)
+    /// under the fault-free [`NoFaults`] injector.
     pub fn run_batch(
         &mut self,
         queries: &[DesignQuery],
         threads: usize,
         obs: &Registry,
-    ) -> Result<Vec<DesignVerdict>, QueryError> {
+    ) -> Vec<QueryOutcome> {
+        self.run_batch_with(queries, threads, obs, &NoFaults)
+    }
+
+    /// [`run_batch`](Self::run_batch) with an explicit [`FaultInjector`]
+    /// (the chaos-drill entry point).
+    ///
+    /// Four phases, only the second parallel:
+    ///
+    /// 1. a sequential lookup pass partitions requests into cache hits,
+    ///    in-batch duplicates and distinct misses against the cache
+    ///    state at batch entry;
+    /// 2. the misses solve concurrently over
+    ///    [`rcs_parallel::par_map_isolated_observed`] — each through
+    ///    [`solve_query_resilient`]'s retry/budget ladder, each on its
+    ///    own telemetry shard, panics contained per item;
+    /// 3. successful verdicts enter the cache sequentially in
+    ///    first-occurrence order (driving FIFO eviction), *even when
+    ///    sibling requests failed*;
+    /// 4. a sequential resolution pass assembles per-request outcomes:
+    ///    failed requests are answered from the nearest cache entry
+    ///    within the policy's degradation window (marked `Degraded`
+    ///    with provenance; same-batch successes are eligible sources),
+    ///    or `Failed` when nothing is close enough.
+    ///
+    /// The outcomes — and every golden counter — are bit-identical at
+    /// any `threads`.
+    pub fn run_batch_with(
+        &mut self,
+        queries: &[DesignQuery],
+        threads: usize,
+        obs: &Registry,
+        injector: &dyn FaultInjector,
+    ) -> Vec<QueryOutcome> {
         obs.inc("query.batch.runs");
         obs.add("query.requests", queries.len() as u64);
         obs.work("query.requests", queries.len() as u64);
@@ -633,46 +1178,94 @@ impl QueryEngine {
         obs.add("query.batch.coalesced", coalesced);
         obs.work("query.batch.coalesced", coalesced);
 
-        // Phase 2: solve distinct misses concurrently; results and
-        // telemetry shards come back in miss order.
-        let solved =
-            rcs_parallel::par_map_observed(misses, threads, obs, |_, (hash, query), shard| {
-                solve_query(&query, shard).map(|verdict| (hash, query, verdict))
-            });
+        // Phase 2: solve distinct misses concurrently through the
+        // resilience ladder; results and telemetry shards come back in
+        // miss order. The outer isolation is belt-and-braces — the
+        // ladder already catches per-attempt panics — so an escaped
+        // panic costs exactly one request, never the batch.
+        let policy = self.policy;
+        let solved = rcs_parallel::par_map_isolated_observed(
+            misses,
+            threads,
+            obs,
+            |_, (hash, query), shard| {
+                let result = solve_query_resilient(&query, &policy, injector, shard);
+                (hash, query, result)
+            },
+        );
 
         // Phase 3: sequential insertion in miss order drives FIFO
-        // eviction deterministically.
+        // eviction deterministically. Successes are cached even when
+        // sibling requests failed.
         let mut evictions = 0u64;
-        let mut fresh: Vec<DesignVerdict> = Vec::with_capacity(solved.len());
-        let mut first_error = None;
-        for result in solved {
-            match result {
-                Ok((hash, query, verdict)) => {
+        let mut fresh: Vec<Result<DesignVerdict, QueryError>> = Vec::with_capacity(solved.len());
+        for item in solved {
+            match item {
+                Ok((hash, query, Ok(verdict))) => {
                     if self.cache.insert(hash, query, verdict.clone()).is_some() {
                         evictions += 1;
                     }
-                    fresh.push(verdict);
+                    fresh.push(Ok(verdict));
                 }
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
-                    }
-                }
+                Ok((_, _, Err(e))) => fresh.push(Err(e)),
+                Err(panic) => fresh.push(Err(QueryError::WorkerPanic {
+                    message: panic.message,
+                })),
             }
         }
         obs.add("query.cache.evictions", evictions);
         obs.work("query.cache.evictions", evictions);
-        if let Some(e) = first_error {
-            return Err(e);
-        }
 
-        Ok(slots
-            .into_iter()
-            .map(|slot| match slot {
-                Slot::Hit(v) => v,
-                Slot::Miss(i) => fresh[i].clone(),
-            })
-            .collect())
+        // Phase 4: sequential resolution in request order. Runs after
+        // insertion so same-batch successes can serve as degradation
+        // sources.
+        let mut ok_n = 0u64;
+        let mut degraded_n = 0u64;
+        let mut failed_n = 0u64;
+        let mut outcomes = Vec::with_capacity(queries.len());
+        for (query, slot) in queries.iter().zip(slots) {
+            let outcome = match slot {
+                Slot::Hit(v) => QueryOutcome::Ok(v),
+                Slot::Miss(i) => match &fresh[i] {
+                    Ok(v) => QueryOutcome::Ok(v.clone()),
+                    Err(e) => match self.cache.nearest_within(query, self.policy.degrade_window) {
+                        Some((source, verdict)) => QueryOutcome::Degraded {
+                            verdict: verdict.clone(),
+                            provenance: DegradedProvenance {
+                                requested_hash: query.canonical_hash(),
+                                source_hash: source.canonical_hash(),
+                                delta_utilization: (source.utilization - query.utilization).abs(),
+                                error: e.clone(),
+                            },
+                        },
+                        None => QueryOutcome::Failed(e.clone()),
+                    },
+                },
+            };
+            match &outcome {
+                QueryOutcome::Ok(_) => ok_n += 1,
+                QueryOutcome::Degraded { .. } => degraded_n += 1,
+                QueryOutcome::Failed(_) => failed_n += 1,
+            }
+            outcomes.push(outcome);
+        }
+        // Outcome tallies are event-driven (absent when zero) so a
+        // clean batch's golden manifest — and the pinned E18 profile —
+        // is byte-identical to the pre-resilience engine's.
+        if degraded_n > 0 {
+            obs.add("query.outcomes.degraded", degraded_n);
+            obs.add("resilience.degraded.served", degraded_n);
+            obs.work("resilience.degraded.served", degraded_n);
+        }
+        if failed_n > 0 {
+            obs.add("query.outcomes.failed", failed_n);
+            obs.add("resilience.degraded.unavailable", failed_n);
+            obs.work("resilience.degraded.unavailable", failed_n);
+        }
+        if degraded_n > 0 || failed_n > 0 {
+            obs.add("query.outcomes.ok", ok_n);
+        }
+        outcomes
     }
 }
 

@@ -29,6 +29,8 @@
 //! | [`cooling`] | `rcs-cooling` | cooling architectures, control, risk |
 //! | [`taskgraph`] | `rcs-taskgraph` | information graphs → FPGA field mapping |
 //! | [`core`] | `rcs-core` | the coupled simulator and experiment harness |
+//! | [`query`] | `rcs-query` | design-query service: cached, resilient batch answers |
+//! | [`chaos`] | `rcs-chaos` | deterministic fault injection & the E19 chaos drill |
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub use rcs_chaos as chaos;
 pub use rcs_cooling as cooling;
 pub use rcs_core as core;
 pub use rcs_devices as devices;
