@@ -15,6 +15,7 @@
 //! therefore changes wall-clock time only — never a single bit of the
 //! report.
 
+use rcs_kernel::{Clock, SinkState, SnapReader, SnapWriter, SnapshotError};
 use rcs_numeric::rng::Rng;
 use rcs_numeric::stats::percentile;
 use rcs_obs::Registry;
@@ -194,7 +195,7 @@ pub fn monte_carlo_observed(
 ///
 /// Panics if `horizon_years` is not positive or `trials` is zero.
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::cast_precision_loss)]
+#[allow(clippy::too_many_arguments)]
 pub fn monte_carlo_traced(
     classes: &[FailureClass],
     horizon_years: f64,
@@ -204,72 +205,266 @@ pub fn monte_carlo_traced(
     obs: &Registry,
     trace: &rcs_obs::trace::TraceRecorder,
 ) -> AvailabilityReport {
-    assert!(horizon_years > 0.0, "horizon must be positive");
-    assert!(trials > 0, "at least one trial required");
-    let hours_total = horizon_years * HOURS_PER_YEAR;
+    let mut session = McSession::new(horizon_years, trials, seed, threads, obs);
+    while session.advance(classes, obs, trace, u64::MAX) > 0 {}
+    session.finish()
+}
 
-    // Fixed partition, one jumped stream per chunk: the work list is a
-    // function of (trials, seed) only.
-    let chunks = rcs_parallel::fixed_chunks(trials, TRIALS_PER_CHUNK);
-    let streams = Rng::seed_from_u64(seed).split_streams(chunks.len());
-    let work: Vec<(core::ops::Range<usize>, Rng)> = chunks.into_iter().zip(streams).collect();
+/// Snapshot kind tag of [`McSession::checkpoint`] bytes.
+pub const MC_SNAPSHOT_KIND: &str = "cooling.mc";
 
-    obs.inc("mc.runs");
-    obs.add("mc.trials", trials as u64);
-    obs.add("mc.chunks", work.len() as u64);
+/// A resumable Monte-Carlo availability study: the chunked trial loop
+/// hoisted onto the `rcs-kernel` stepping kernel, one kernel step per
+/// 64-trial chunk.
+///
+/// The session owns the accumulated per-trial availabilities, event
+/// tallies and the chunk [`Clock`]; the failure classes are passed into
+/// every [`McSession::advance`] call as the immutable environment. RNG
+/// streams are recomputed from the seed on every batch (chunk `i`
+/// always draws from jumped stream `i`), so a checkpoint never stores a
+/// stream mid-chunk — chunk granularity is the checkpoint granularity.
+/// A resumed session finishes **bitwise** identically — report, golden
+/// counters, trace — to one that was never interrupted, at any thread
+/// count on either side of the split.
+#[derive(Debug)]
+pub struct McSession {
+    horizon_years: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    clock: Clock,
+    /// Per-trial availabilities accumulated in chunk order (unsorted —
+    /// the final sort happens in [`McSession::finish`]).
+    availabilities: Vec<f64>,
+    total_events: u64,
+    total_losses: u64,
+}
 
-    let partials = rcs_parallel::par_map_traced(
-        work,
-        threads,
-        obs,
-        trace,
-        // unprefixed: every chunk appends to the shared channels, merged
-        // in chunk order
-        |_| String::new(),
-        |_, (range, mut rng), shard, shard_trace| {
-            let outcome = run_chunk(classes, horizon_years, hours_total, range.len(), &mut rng);
-            shard.add("mc.events", outcome.events);
-            shard.add("mc.hardware_losses", outcome.losses);
-            // work accounting: one unit per simulated trial, plus one per
-            // sampled Poisson event (the inner-loop cost driver)
-            shard.work("mc.trials", range.len() as u64);
-            shard.work("mc.events", outcome.events);
-            if shard_trace.is_enabled() {
-                let ch =
-                    shard_trace.channel("mc.availability", rcs_obs::trace::ChannelKind::Scalar);
-                for (offset, availability) in outcome.availabilities.iter().enumerate() {
-                    shard_trace.record(ch, (range.start + offset) as f64, *availability);
-                }
-            }
-            outcome
-        },
-    );
-
-    // Fixed-order reduction: chunk 0, chunk 1, ... regardless of which
-    // worker finished first, so float accumulation order is pinned.
-    let mut availabilities = Vec::with_capacity(trials);
-    let mut total_events = 0u64;
-    let mut total_losses = 0u64;
-    for partial in partials {
-        availabilities.extend(partial.availabilities);
-        total_events += partial.events;
-        total_losses += partial.losses;
+impl McSession {
+    /// Prepares a study and records its golden workload shape
+    /// (`mc.runs` / `mc.trials` / `mc.chunks` and the pool's map-shape
+    /// counters) exactly once — however many batches the chunks are
+    /// later advanced in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_years` is not positive or `trials` is zero.
+    #[must_use]
+    pub fn new(
+        horizon_years: f64,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+        obs: &Registry,
+    ) -> Self {
+        assert!(horizon_years > 0.0, "horizon must be positive");
+        assert!(trials > 0, "at least one trial required");
+        let chunk_count = rcs_parallel::fixed_chunks(trials, TRIALS_PER_CHUNK).len();
+        obs.inc("mc.runs");
+        obs.add("mc.trials", trials as u64);
+        obs.add("mc.chunks", chunk_count as u64);
+        // The straight-through run is one pool map over every chunk;
+        // batched resumption must not re-count the map shape.
+        obs.inc("parallel.maps");
+        obs.add("parallel.tasks", chunk_count as u64);
+        Self {
+            horizon_years,
+            trials,
+            seed,
+            threads,
+            clock: Clock::counted(chunk_count as u64),
+            availabilities: Vec::with_capacity(trials),
+            total_events: 0,
+            total_losses: 0,
+        }
     }
 
-    // total order even under NaN: a poisoned trial would sort to the
-    // top deterministically instead of leaving the percentile rank
-    // dependent on the comparison sequence
-    availabilities.sort_by(f64::total_cmp);
-    let mean = availabilities.iter().sum::<f64>() / trials as f64;
-    let p05 = percentile(&availabilities, 0.05);
+    /// Runs up to `max_chunks` of the remaining chunks as one pool
+    /// batch, reducing shard telemetry and results in chunk order.
+    /// Returns how many chunks ran (0 when the study is complete).
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    pub fn advance(
+        &mut self,
+        classes: &[FailureClass],
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        max_chunks: u64,
+    ) -> u64 {
+        let mut indices = Vec::new();
+        while (indices.len() as u64) < max_chunks {
+            let Some(tick) = self.clock.tick() else { break };
+            indices.push(tick.index as usize);
+        }
+        if indices.is_empty() {
+            return 0;
+        }
+        // Fixed partition, one jumped stream per chunk: the work list is
+        // a function of (trials, seed) only, recomputed per batch so
+        // chunk i always draws from stream i.
+        let chunks = rcs_parallel::fixed_chunks(self.trials, TRIALS_PER_CHUNK);
+        let streams = Rng::seed_from_u64(self.seed).split_streams(chunks.len());
+        let work: Vec<(core::ops::Range<usize>, Rng)> = chunks.into_iter().zip(streams).collect();
+        let batch: Vec<(core::ops::Range<usize>, Rng)> = indices
+            .iter()
+            .map(|&i| {
+                let (range, rng) = &work[i];
+                (range.clone(), rng.clone())
+            })
+            .collect();
 
-    AvailabilityReport {
-        horizon_years,
-        trials,
-        mean_availability: mean,
-        p05_availability: p05,
-        mean_events_per_year: total_events as f64 / (trials as f64 * horizon_years),
-        mean_hardware_losses: total_losses as f64 / trials as f64,
+        let horizon_years = self.horizon_years;
+        let hours_total = horizon_years * HOURS_PER_YEAR;
+        let partials = rcs_parallel::par_map_shards(
+            batch,
+            self.threads,
+            obs,
+            trace,
+            // unprefixed: every chunk appends to the shared channels,
+            // merged in chunk order
+            |_| String::new(),
+            |_, (range, mut rng), shard, shard_trace| {
+                let outcome = run_chunk(classes, horizon_years, hours_total, range.len(), &mut rng);
+                shard.add("mc.events", outcome.events);
+                shard.add("mc.hardware_losses", outcome.losses);
+                // work accounting: one unit per simulated trial, plus one
+                // per sampled Poisson event (the inner-loop cost driver)
+                shard.work("mc.trials", range.len() as u64);
+                shard.work("mc.events", outcome.events);
+                if shard_trace.is_enabled() {
+                    let ch =
+                        shard_trace.channel("mc.availability", rcs_obs::trace::ChannelKind::Scalar);
+                    for (offset, availability) in outcome.availabilities.iter().enumerate() {
+                        shard_trace.record(ch, (range.start + offset) as f64, *availability);
+                    }
+                }
+                outcome
+            },
+        );
+
+        // Fixed-order reduction: chunk 0, chunk 1, ... regardless of
+        // which worker finished first, so float accumulation order is
+        // pinned.
+        let ran = partials.len() as u64;
+        for partial in partials {
+            self.availabilities.extend(partial.availabilities);
+            self.total_events += partial.events;
+            self.total_losses += partial.losses;
+        }
+        ran
+    }
+
+    /// `true` once every chunk has run.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.clock.is_finished()
+    }
+
+    /// Chunks completed so far.
+    #[must_use]
+    pub fn chunks_done(&self) -> u64 {
+        self.clock.next_index()
+    }
+
+    /// Reduces the accumulated trials into the final report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before every chunk has run.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn finish(self) -> AvailabilityReport {
+        assert!(
+            self.is_finished(),
+            "finish() before all chunks ran: {} of {}",
+            self.availabilities.len(),
+            self.trials
+        );
+        let mut availabilities = self.availabilities;
+        // total order even under NaN: a poisoned trial would sort to the
+        // top deterministically instead of leaving the percentile rank
+        // dependent on the comparison sequence
+        availabilities.sort_by(f64::total_cmp);
+        let trials = self.trials as f64;
+        let mean = availabilities.iter().sum::<f64>() / trials;
+        let p05 = percentile(&availabilities, 0.05);
+        AvailabilityReport {
+            horizon_years: self.horizon_years,
+            trials: self.trials,
+            mean_availability: mean,
+            p05_availability: p05,
+            mean_events_per_year: self.total_events as f64 / (trials * self.horizon_years),
+            mean_hardware_losses: self.total_losses as f64 / trials,
+        }
+    }
+
+    /// Seals the study state — parameters, chunk clock, accumulated
+    /// trials and tallies — plus the contents of `obs` and `trace` into
+    /// versioned snapshot bytes.
+    #[must_use]
+    pub fn checkpoint(&self, obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.f64(self.horizon_years);
+        w.u64(self.trials as u64);
+        w.u64(self.seed);
+        w.u64(self.threads as u64);
+        self.clock.write_into(&mut w);
+        w.f64_slice(&self.availabilities);
+        w.u64(self.total_events);
+        w.u64(self.total_losses);
+        SinkState::capture(obs, trace).write_into(&mut w);
+        rcs_kernel::seal(MC_SNAPSHOT_KIND, &w.into_bytes())
+    }
+
+    /// Reconstructs a session from [`McSession::checkpoint`] bytes,
+    /// restoring the captured telemetry into the (fresh) `obs` and
+    /// `trace` sinks. The thread count is *not* restored — pass the
+    /// current one; the study is bit-identical at any value.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on corrupted or truncated bytes or a snapshot
+    /// of a different kind.
+    pub fn resume(
+        bytes: &[u8],
+        threads: usize,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        let payload = rcs_kernel::open(MC_SNAPSHOT_KIND, bytes)?;
+        let mut r = SnapReader::new(payload);
+        let horizon_years = r.f64()?;
+        let trials_raw = r.u64()?;
+        let trials = usize::try_from(trials_raw).map_err(|_| {
+            SnapshotError::Malformed(format!("trial count {trials_raw} overflows usize"))
+        })?;
+        let seed = r.u64()?;
+        let _stored_threads = r.u64()?;
+        let clock = Clock::read_from(&mut r)?;
+        let availabilities = r.f64_vec()?;
+        let total_events = r.u64()?;
+        let total_losses = r.u64()?;
+        let sinks = SinkState::read_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Malformed(
+                "trailing bytes after mc session state".to_owned(),
+            ));
+        }
+        if trials == 0 || horizon_years <= 0.0 {
+            return Err(SnapshotError::Malformed(format!(
+                "invalid study parameters: {trials} trials over {horizon_years} years"
+            )));
+        }
+        sinks.restore(obs, trace)?;
+        Ok(Self {
+            horizon_years,
+            trials,
+            seed,
+            threads,
+            clock,
+            availabilities,
+            total_events,
+            total_losses,
+        })
     }
 }
 
@@ -410,6 +605,80 @@ mod tests {
         ));
         let r = monte_carlo(&classes, 5.0, 1000, 3);
         assert!(r.p05_availability <= r.mean_availability);
+    }
+
+    #[test]
+    fn mc_session_checkpoint_resume_is_bitwise_identical() {
+        use rcs_obs::trace::TraceRecorder;
+
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        // 700 trials = 11 chunks (10 full + one 60-trial tail).
+        let obs_ref = Registry::new();
+        let trace_ref = TraceRecorder::new();
+        let reference = monte_carlo_traced(&classes, 5.0, 700, 42, 4, &obs_ref, &trace_ref);
+
+        for split in [0u64, 1, 5, 10, 11] {
+            let obs_a = Registry::new();
+            let trace_a = TraceRecorder::new();
+            let mut session = McSession::new(5.0, 700, 42, 2, &obs_a);
+            session.advance(&classes, &obs_a, &trace_a, split);
+            let bytes = session.checkpoint(&obs_a, &trace_a);
+
+            // Resume on a *different* worker count: the chunk → stream
+            // mapping is thread-free, so the split must stay invisible.
+            let obs_b = Registry::new();
+            let trace_b = TraceRecorder::new();
+            let mut resumed =
+                McSession::resume(&bytes, 7, &obs_b, &trace_b).expect("snapshot opens");
+            while resumed.advance(&classes, &obs_b, &trace_b, 3) > 0 {}
+            assert!(resumed.is_finished());
+            let report = resumed.finish();
+
+            assert_eq!(report, reference, "report diverged at split {split}");
+            assert_eq!(
+                obs_b.snapshot(),
+                obs_ref.snapshot(),
+                "golden counters diverged at split {split}"
+            );
+            assert_eq!(
+                trace_b.snapshot(),
+                trace_ref.snapshot(),
+                "traces diverged at split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_mc_snapshot_is_a_structured_error() {
+        use rcs_obs::trace::TraceRecorder;
+
+        let classes = risk::failure_classes(&CoolingArchitecture::ColdPlate(
+            ColdPlateLoop::per_chip_plates(96),
+        ));
+        let obs = Registry::new();
+        let mut session = McSession::new(5.0, 200, 9, 2, &obs);
+        session.advance(&classes, &obs, TraceRecorder::disabled(), 2);
+        let bytes = session.checkpoint(&obs, TraceRecorder::disabled());
+
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 2] ^= 0x01;
+        assert!(
+            McSession::resume(&flipped, 2, &Registry::new(), TraceRecorder::disabled()).is_err()
+        );
+        for cut in [0, 7, bytes.len() - 3] {
+            assert!(
+                McSession::resume(
+                    &bytes[..cut],
+                    2,
+                    &Registry::new(),
+                    TraceRecorder::disabled()
+                )
+                .is_err(),
+                "truncated at {cut}"
+            );
+        }
     }
 
     #[test]

@@ -213,6 +213,32 @@ impl PlausibilityFilter {
         self.last_good.map(|(_, v)| v)
     }
 
+    /// Captures the filter's full mutable state for a simulation-kernel
+    /// checkpoint. [`PlausibilityFilter::restore_state`] with this value
+    /// makes the filter's future decisions bit-identical to one that was
+    /// never interrupted. The limits and hold timeout are configuration,
+    /// not state — the restoring caller reconstructs those.
+    #[must_use]
+    pub fn state(&self) -> FilterState {
+        FilterState {
+            last_good: self.last_good.map(|(t, v)| (t.seconds(), v)),
+            last_scan: self.last_scan.map(|t| t.seconds()),
+            held_since: self.held_since.map(|t| t.seconds()),
+            rejected: self.rejected,
+            dropouts: self.dropouts,
+        }
+    }
+
+    /// Overwrites the mutable state with a checkpoint captured by
+    /// [`PlausibilityFilter::state`].
+    pub fn restore_state(&mut self, state: &FilterState) {
+        self.last_good = state.last_good.map(|(t, v)| (Seconds::new(t), v));
+        self.last_scan = state.last_scan.map(Seconds::new);
+        self.held_since = state.held_since.map(Seconds::new);
+        self.rejected = state.rejected;
+        self.dropouts = state.dropouts;
+    }
+
     /// How many delivered samples failed the range or rate check over
     /// this filter's lifetime. A monotonic counter: one implausible
     /// sample is one rejection, so tests can assert the count against
@@ -227,6 +253,24 @@ impl PlausibilityFilter {
     pub fn dropouts(&self) -> u64 {
         self.dropouts
     }
+}
+
+/// The mutable state of one [`PlausibilityFilter`], captured by
+/// [`PlausibilityFilter::state`] for simulation-kernel checkpoints.
+/// Times are plain seconds so the snapshot layer can serialize the
+/// struct without knowing about unit types.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterState {
+    /// Time and value of the last plausible sample.
+    pub last_good: Option<(f64, f64)>,
+    /// Time of the previous sample, plausible or not.
+    pub last_scan: Option<f64>,
+    /// When the current hold window opened, if one is open.
+    pub held_since: Option<f64>,
+    /// Delivered-but-implausible samples seen.
+    pub rejected: u64,
+    /// Dropouts seen.
+    pub dropouts: u64,
 }
 
 /// Median vote across redundant probes: the middle of the delivered

@@ -1,0 +1,176 @@
+//! Kernel resume harness for the CI `kernel-resume` job.
+//!
+//! Runs the four checkpointable kernel loops — a thermal transient, the
+//! SKAT immersion warm-up, a pump-seizure fault drill and an
+//! availability Monte-Carlo study — and emits one NDJSON manifest
+//! (`RCS_OBS_MANIFEST`, plus traces when `RCS_OBS_TRACE` is set) and a
+//! summary table on stdout.
+//!
+//! With `--split`, every loop is interrupted at a mid-run checkpoint:
+//! its state is sealed to snapshot bytes, the live sinks are **thrown
+//! away**, and the loop resumes from the bytes into fresh ones. The
+//! resume-equivalence contract says the manifest, the traces and the
+//! stdout table must come out byte-identical to the straight-through
+//! run — at every `RCS_THREADS` setting. CI diffs both.
+
+use rcs_cooling::availability::McSession;
+use rcs_cooling::faults::{FaultKind, FaultTimeline};
+use rcs_cooling::{risk, CoolingArchitecture, ImmersionBath};
+use rcs_core::experiments::{self, Table};
+use rcs_core::{DrillSession, FaultDrill, ImmersionModel, WarmupSession};
+use rcs_numeric::rng::Rng;
+use rcs_obs::trace::TraceRecorder;
+use rcs_obs::Registry;
+use rcs_thermal::{ThermalNetwork, TransientSession};
+use rcs_units::{Celsius, Power, Seconds, ThermalResistance};
+
+/// Seed for the drill RNG and the Monte-Carlo study.
+const SEED: u64 = 20260808;
+
+/// The sinks of the run. In split mode each loop's checkpoint swaps
+/// them wholesale for fresh ones — restoring must then reproduce
+/// everything recorded so far, by *any* loop, or the final manifest
+/// diff fails.
+struct Sinks {
+    obs: Registry,
+    trace: TraceRecorder,
+}
+
+impl Sinks {
+    fn fresh() -> Self {
+        Self {
+            obs: Registry::new(),
+            trace: TraceRecorder::from_env(),
+        }
+    }
+}
+
+fn run(split: bool) -> (Vec<Table>, Sinks) {
+    let mut sinks = Sinks::fresh();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // --- 1. thermal transient: a two-node RC chain ------------------
+    let mut net = ThermalNetwork::new();
+    let amb = net.add_boundary("amb", Celsius::new(25.0));
+    let chip = net.add_node_with_capacitance("chip", 60.0);
+    let sink = net.add_node_with_capacitance("sink", 400.0);
+    net.connect(chip, sink, ThermalResistance::from_kelvin_per_watt(0.08))
+        .expect("distinct nodes");
+    net.connect(sink, amb, ThermalResistance::from_kelvin_per_watt(0.05))
+        .expect("distinct nodes");
+    net.add_heat(chip, Power::from_watts(350.0))
+        .expect("internal node");
+    let initial = net.uniform_initial(Celsius::new(25.0));
+    let mut session =
+        TransientSession::new(&net, &initial, Seconds::new(120.0), Seconds::new(0.25))
+            .expect("valid transient problem");
+    if split {
+        session.run(&net, 240);
+        let bytes = session.checkpoint(&sinks.obs, &sinks.trace);
+        sinks = Sinks::fresh();
+        session = TransientSession::resume(&net, &bytes, &sinks.obs, &sinks.trace)
+            .expect("transient snapshot reopens");
+    }
+    session.run(&net, u64::MAX);
+    let transient = session.finish_observed(&net, &sinks.obs);
+    rows.push(vec![
+        "transient chip °C".to_owned(),
+        format!("{:.6}", transient.final_temperature(chip).degrees()),
+    ]);
+
+    // --- 2. SKAT immersion warm-up ----------------------------------
+    let model = ImmersionModel::skat();
+    let mut warmup = WarmupSession::new(
+        &model,
+        Seconds::minutes(10.0),
+        Seconds::new(2.0),
+        &sinks.obs,
+    )
+    .expect("SKAT warms up");
+    if split {
+        warmup.run(150);
+        let bytes = warmup.checkpoint(&sinks.obs, &sinks.trace);
+        sinks = Sinks::fresh();
+        warmup = WarmupSession::resume(&model, &bytes, &sinks.obs, &sinks.trace)
+            .expect("warmup snapshot reopens");
+    }
+    warmup.run(u64::MAX);
+    let warm = warmup.finish(&sinks.obs, &sinks.trace);
+    rows.push(vec![
+        "warmup chip °C".to_owned(),
+        format!("{:.6}", warm.final_chip_temperature().degrees()),
+    ]);
+
+    // --- 3. pump-seizure fault drill (split lands mid-chaos) --------
+    let timeline =
+        FaultTimeline::new().with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
+    let drill = FaultDrill::skat("kernel_resume", timeline, Seconds::minutes(20.0));
+    let mut drill_session = DrillSession::new(
+        &drill,
+        Rng::seed_from_u64(SEED),
+        true,
+        &sinks.obs,
+        &sinks.trace,
+    )
+    .expect("baseline solves");
+    if split {
+        // Scan 90 is one minute after the seizure: filters, alarm votes
+        // and the partial outcome are all live in the snapshot.
+        drill_session.run(&drill, &sinks.obs, &sinks.trace, 90);
+        let bytes = drill_session.checkpoint(&sinks.obs, &sinks.trace);
+        sinks = Sinks::fresh();
+        drill_session = DrillSession::resume(&drill, &bytes, &sinks.obs, &sinks.trace)
+            .expect("drill snapshot reopens");
+    }
+    drill_session.run(&drill, &sinks.obs, &sinks.trace, u64::MAX);
+    let (outcome, _rng) = drill_session.finish(&sinks.obs);
+    rows.push(vec![
+        "drill peak junction °C".to_owned(),
+        format!("{:.6}", outcome.peak_junction.degrees()),
+    ]);
+    rows.push(vec![
+        "drill shut down".to_owned(),
+        outcome.shut_down.to_string(),
+    ]);
+
+    // --- 4. availability Monte-Carlo (chunk-granular resume) --------
+    let classes = risk::failure_classes(&CoolingArchitecture::Immersion(
+        ImmersionBath::skat_default(),
+    ));
+    let threads = rcs_parallel::thread_count();
+    let mut mc = McSession::new(3.0, 512, SEED, threads, &sinks.obs);
+    if split {
+        mc.advance(&classes, &sinks.obs, &sinks.trace, 4);
+        let bytes = mc.checkpoint(&sinks.obs, &sinks.trace);
+        sinks = Sinks::fresh();
+        mc = McSession::resume(&bytes, threads, &sinks.obs, &sinks.trace)
+            .expect("mc snapshot reopens");
+    }
+    while mc.advance(&classes, &sinks.obs, &sinks.trace, u64::MAX) > 0 {}
+    let report = mc.finish();
+    rows.push(vec![
+        "mc mean availability".to_owned(),
+        format!("{:.9}", report.mean_availability),
+    ]);
+    rows.push(vec![
+        "mc p05 availability".to_owned(),
+        format!("{:.9}", report.p05_availability),
+    ]);
+
+    // The title deliberately ignores the mode: straight and split runs
+    // must be byte-identical on stdout too.
+    let table = Table::new("Kernel resume harness", &["quantity", "value"], rows);
+    (vec![table], sinks)
+}
+
+fn main() {
+    let split = std::env::args().any(|a| a == "--split");
+    let (tables, sinks) = run(split);
+    experiments::finish_run_traced(
+        "kernel_resume",
+        Some(SEED),
+        &tables,
+        &sinks.obs,
+        &sinks.trace,
+    );
+}

@@ -21,16 +21,23 @@
 
 use rcs_cooling::control::{self, Action, Alarm, ControlSubsystem, Readings};
 use rcs_cooling::faults::{DegradedState, FaultTimeline, SensorChannel};
-use rcs_cooling::plausibility::{median_vote, ChannelLimits, ChannelStatus, PlausibilityFilter};
+use rcs_cooling::plausibility::{
+    median_vote, ChannelLimits, ChannelStatus, FilterState, PlausibilityFilter,
+};
 use rcs_cooling::ImmersionBath;
 use rcs_devices::OperatingPoint;
+use rcs_kernel::{Clock, SinkState, SnapReader, SnapWriter, SnapshotError};
 use rcs_numeric::rng::Rng;
+use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 use rcs_platform::ComputeModule;
 use rcs_units::{Celsius, Power, Seconds, VolumeFlow};
 
 use crate::error::CoreError;
 use crate::immersion::ImmersionModel;
+
+/// Snapshot kind tag for [`DrillSession`] checkpoints.
+pub const DRILL_SNAPSHOT_KIND: &str = "core.drill";
 
 /// Sensor scan interval.
 pub const SCAN_DT: Seconds = Seconds::new(2.0);
@@ -419,199 +426,21 @@ impl FaultDrill {
         rng: &mut Rng,
         supervised: bool,
         obs: &Registry,
-        trace: &rcs_obs::trace::TraceRecorder,
+        trace: &TraceRecorder,
     ) -> DrillOutcome {
-        use rcs_obs::trace::ChannelKind;
-        obs.inc("drill.runs");
-        let ch_chip = trace.channel("drill.t_chip", ChannelKind::Temperature);
-        let ch_bath = trace.channel("drill.t_bath", ChannelKind::Temperature);
-        let ch_flow = trace.channel("drill.flow_lpm", ChannelKind::Flow);
-        let ch_util = trace.channel("drill.utilization", ChannelKind::Scalar);
-        let ch_alarms = trace.channel("drill.alarms", ChannelKind::Alarm);
-        let ch_action = trace.channel("drill.action", ChannelKind::Action);
-        let hardware_limit = self.control.component_limit;
-        let mut outcome = DrillOutcome {
-            name: self.name.clone(),
-            design: self.module.name().to_owned(),
-            supervised,
-            time_to_alarm: None,
-            time_to_shutdown: None,
-            shut_down: false,
-            peak_junction: Celsius::new(f64::NEG_INFINITY),
-            peak_agent: Celsius::new(f64::NEG_INFINITY),
-            violation_steps: 0,
-            min_utilization: self.demand_utilization,
-            channel_health: ChannelHealth::all_valid(),
-            solver_failure: None,
-            steps: 0,
-        };
-
-        // Healthy baseline: initial temperatures and the stagnant-mode
-        // reference resistance.
-        let baseline = match ImmersionModel::new(self.module.clone(), self.bath.clone())
-            .with_operating_point(OperatingPoint::at_utilization(self.demand_utilization))
-            .solve_robust_traced(obs, trace)
-        {
-            Ok(r) => r,
-            Err(e) => {
-                obs.inc("drill.solver_failures");
-                outcome.solver_failure = Some(e.to_string());
-                return outcome;
+        match DrillSession::new(self, Rng::from_state(rng.state()), supervised, obs, trace) {
+            Ok(mut session) => {
+                while session.step(self, obs, trace) {}
+                let (outcome, final_rng) = session.finish(obs);
+                // Hand the advanced stream back so callers chaining
+                // drills off one RNG see the exact legacy sequence.
+                *rng = final_rng;
+                outcome
             }
-        };
-        let chips = self.module.compute_fpga_count() as f64;
-        let c_chip = CHIP_FIELD_CAPACITANCE_PER_CHIP * chips;
-        let stack = ImmersionModel::new(self.module.clone(), self.bath.clone()).chip_stack();
-        let baseline_bulk =
-            Celsius::new(0.5 * (baseline.coolant_hot.degrees() + baseline.coolant_cold.degrees()));
-        let baseline_oil = self.bath.coolant.state(baseline_bulk);
-        let r_chip_baseline = stack
-            .total_resistance(&baseline_oil, baseline.sink_velocity)
-            .kelvin_per_watt();
-
-        let mut t_chip = baseline.junction.degrees();
-        let mut t_bath = baseline.coolant_hot.degrees();
-        let mut utilization = self.demand_utilization;
-        let mut powered = true;
-        let mut supervisor = HardenedSupervisor::new(self.control);
-
-        let steps = (self.duration.seconds() / SCAN_DT.seconds()).ceil() as usize;
-        let mut lin: Option<Linearization> = None;
-        let mut lin_key: Option<LinKey> = None;
-        let mut alarming = false;
-
-        for step in 0..steps {
-            let t = Seconds::new(step as f64 * SCAN_DT.seconds());
-            let state = self.timeline.state_at(t);
-
-            // Relinearize the plant around the degraded steady state
-            // whenever the degraded physics (or the allowed load)
-            // changed since the last linearization.
-            if step % RELINEARIZE_EVERY == 0 || lin.is_none() {
-                let key = LinKey::of(&state, utilization, powered);
-                if lin_key.as_ref() != Some(&key) {
-                    obs.inc("drill.relinearizations");
-                    match self.linearize(&state, utilization, r_chip_baseline, chips, obs, trace) {
-                        Ok(l) => {
-                            lin = Some(l);
-                            lin_key = Some(key);
-                        }
-                        Err(e) => {
-                            obs.inc("drill.solver_failures");
-                            outcome.solver_failure = Some(e.to_string());
-                            break;
-                        }
-                    }
-                }
-            }
-            let lin = lin.as_ref().expect("linearized above");
-
-            // --- sensor scan on the *current* true state -------------
-            let noise_level = rng.gen_range(-0.002..0.002);
-            let noise_flow = rng.gen_range(-0.5..0.5);
-            let noise_agent = rng.gen_range(-0.02..0.02);
-            let noise_component: [f64; COMPONENT_PROBES] =
-                core::array::from_fn(|_| rng.gen_range(-0.05..0.05));
-            let raw = RawScan {
-                level: state.sensed(
-                    SensorChannel::CoolantLevel,
-                    state.coolant_level + noise_level,
-                    t,
-                ),
-                flow_lpm: state.sensed(SensorChannel::CoolantFlow, lin.flow_lpm + noise_flow, t),
-                agent_c: state.sensed(SensorChannel::AgentTemperature, t_bath + noise_agent, t),
-                component_c: core::array::from_fn(|i| {
-                    state.sensed(
-                        SensorChannel::ComponentTemperature(i),
-                        t_chip + noise_component[i],
-                        t,
-                    )
-                }),
-            };
-
-            if supervised && powered {
-                let (_readings, alarms, action) = supervisor.scan(t, &raw);
-                #[allow(clippy::cast_precision_loss)]
-                {
-                    trace.record(ch_alarms, t.seconds(), alarms.len() as f64);
-                    trace.record(ch_action, t.seconds(), f64::from(action.severity_rank()));
-                }
-                if !alarms.is_empty() && outcome.time_to_alarm.is_none() {
-                    outcome.time_to_alarm = Some(t);
-                }
-                if !alarms.is_empty() && !alarming {
-                    obs.inc("drill.alarm_transitions");
-                }
-                alarming = !alarms.is_empty();
-                match action {
-                    Action::EmergencyShutdown => {
-                        powered = false;
-                        outcome.shut_down = true;
-                        outcome.time_to_shutdown = Some(t);
-                        obs.inc("drill.shutdowns");
-                    }
-                    Action::ThrottleLoad => {
-                        utilization = (utilization - THROTTLE_STEP).max(UTILIZATION_FLOOR);
-                        obs.inc("drill.throttle_actions");
-                    }
-                    Action::None => {
-                        utilization = (utilization + THROTTLE_STEP).min(self.demand_utilization);
-                    }
-                    Action::ScheduleCoolantTopUp | Action::SwitchToStandbyPump => {}
-                }
-                outcome.min_utilization = outcome.min_utilization.min(utilization);
-            }
-
-            // --- integrate one scan interval -------------------------
-            let (p_field, p_other) = if powered {
-                let op = OperatingPoint::at_utilization(utilization);
-                let fpga = self.module.fpga_heat(op, Celsius::new(t_chip)).watts();
-                let total = self.module.total_heat(op, Celsius::new(t_chip)).watts();
-                (fpga, total - fpga + lin.pump_heat_w)
-            } else {
-                (0.0, lin.pump_heat_w)
-            };
-            let oil = self.bath.coolant.state(Celsius::new(t_bath));
-            let c_bath = BATH_VOLUME_M3
-                * state.coolant_level.max(0.05)
-                * oil.density.kg_per_cubic_meter()
-                * oil.specific_heat.joules_per_kg_kelvin();
-            let q_field = (t_chip - t_bath) / lin.r_field;
-            let q_hx = (t_bath - lin.supply_c) / lin.r_hx;
-            // The last step of a non-multiple duration is clamped so the
-            // drill never integrates past the requested end time (exact
-            // multiples leave every step at the full SCAN_DT, bit-for-bit).
-            let dt = SCAN_DT.seconds().min(self.duration.seconds() - t.seconds());
-            t_chip += dt * (p_field - q_field) / c_chip;
-            t_bath += dt * (p_other + q_field - q_hx) / c_bath;
-
-            outcome.peak_junction = outcome.peak_junction.max(Celsius::new(t_chip));
-            outcome.peak_agent = outcome.peak_agent.max(Celsius::new(t_bath));
-            if t_chip > hardware_limit.degrees() {
-                outcome.violation_steps += 1;
-            }
-            trace.record(ch_chip, t.seconds(), t_chip);
-            trace.record(ch_bath, t.seconds(), t_bath);
-            trace.record(ch_flow, t.seconds(), lin.flow_lpm);
-            trace.record(ch_util, t.seconds(), utilization);
-            outcome.steps = step + 1;
+            // Baseline solve failed before the first draw: the stream
+            // is untouched, exactly as before the port.
+            Err(outcome) => *outcome,
         }
-
-        outcome.channel_health = supervisor.channel_health();
-        obs.add("drill.steps", outcome.steps as u64);
-        obs.add("drill.violation_steps", outcome.violation_steps as u64);
-        obs.add(
-            "drill.plausibility.rejections",
-            supervisor.plausibility_rejections(),
-        );
-        obs.add(
-            "drill.plausibility.dropouts",
-            supervisor.plausibility_dropouts(),
-        );
-        obs.add("drill.median_vote.degraded", supervisor.votes_degraded());
-        obs.add("drill.median_vote.fallbacks", supervisor.vote_fallbacks());
-        obs.work("drill.scans", outcome.steps as u64);
-        outcome
     }
 
     /// Solves the degraded steady state and extracts the two-node
@@ -684,6 +513,606 @@ impl FaultDrill {
             r_hx,
             supply_c: supply.degrees(),
             pump_heat_w,
+        })
+    }
+}
+
+/// A resumable fault drill: the scan/supervise/integrate loop hoisted
+/// onto the `rcs-kernel` stepping kernel.
+///
+/// The session owns everything the drill loop mutates — the plant
+/// state, the hardened supervisor (filter histories included), the
+/// cached linearization, the RNG stream and the kernel [`Clock`] —
+/// while the [`FaultDrill`] script is passed into every call as the
+/// immutable environment. [`DrillSession::checkpoint`] seals the whole
+/// mutable state plus the observability sinks;
+/// [`DrillSession::resume`] reconstructs a session that finishes
+/// **bitwise** identically — verdicts, traces, golden counters and
+/// every remaining RNG draw — to one that was never interrupted.
+#[derive(Debug)]
+pub struct DrillSession {
+    clock: Clock,
+    rng: Rng,
+    supervised: bool,
+    powered: bool,
+    alarming: bool,
+    t_chip: f64,
+    t_bath: f64,
+    utilization: f64,
+    /// Derived once from the baseline solve; serialized so resume never
+    /// re-runs (or re-records) the baseline.
+    chips: f64,
+    c_chip: f64,
+    r_chip_baseline: f64,
+    lin: Option<Linearization>,
+    lin_key: Option<LinKey>,
+    supervisor: HardenedSupervisor,
+    outcome: DrillOutcome,
+}
+
+fn status_to_u8(s: ChannelStatus) -> u8 {
+    match s {
+        ChannelStatus::Valid => 0,
+        ChannelStatus::Held => 1,
+        ChannelStatus::Failed => 2,
+    }
+}
+
+fn status_from_u8(v: u8) -> Result<ChannelStatus, SnapshotError> {
+    Ok(match v {
+        0 => ChannelStatus::Valid,
+        1 => ChannelStatus::Held,
+        2 => ChannelStatus::Failed,
+        other => {
+            return Err(SnapshotError::Malformed(format!(
+                "unknown channel status {other}"
+            )))
+        }
+    })
+}
+
+fn write_filter(w: &mut SnapWriter, state: &FilterState) {
+    match state.last_good {
+        Some((t, v)) => {
+            w.bool(true);
+            w.f64(t);
+            w.f64(v);
+        }
+        None => w.bool(false),
+    }
+    w.opt_f64(state.last_scan);
+    w.opt_f64(state.held_since);
+    w.u64(state.rejected);
+    w.u64(state.dropouts);
+}
+
+fn read_filter(r: &mut SnapReader<'_>) -> Result<FilterState, SnapshotError> {
+    let last_good = if r.bool()? {
+        Some((r.f64()?, r.f64()?))
+    } else {
+        None
+    };
+    Ok(FilterState {
+        last_good,
+        last_scan: r.opt_f64()?,
+        held_since: r.opt_f64()?,
+        rejected: r.u64()?,
+        dropouts: r.u64()?,
+    })
+}
+
+impl DrillSession {
+    /// Solves the healthy baseline (recording its telemetry into the
+    /// caller's sinks, exactly as the uninterrupted drill does) and
+    /// prepares the scan loop.
+    ///
+    /// # Errors
+    ///
+    /// If the baseline steady solve fails, returns the drill outcome
+    /// carrying the structured solver failure — the legacy early-exit
+    /// path, with no scans run and no end-of-run counters recorded.
+    #[allow(clippy::result_large_err)]
+    pub fn new(
+        drill: &FaultDrill,
+        rng: Rng,
+        supervised: bool,
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<Self, Box<DrillOutcome>> {
+        use rcs_obs::trace::ChannelKind;
+        obs.inc("drill.runs");
+        // Open the per-scan channels before the baseline solve so the
+        // trace layout matches the legacy loop exactly.
+        let _ = trace.channel("drill.t_chip", ChannelKind::Temperature);
+        let _ = trace.channel("drill.t_bath", ChannelKind::Temperature);
+        let _ = trace.channel("drill.flow_lpm", ChannelKind::Flow);
+        let _ = trace.channel("drill.utilization", ChannelKind::Scalar);
+        let _ = trace.channel("drill.alarms", ChannelKind::Alarm);
+        let _ = trace.channel("drill.action", ChannelKind::Action);
+        let mut outcome = DrillOutcome {
+            name: drill.name.clone(),
+            design: drill.module.name().to_owned(),
+            supervised,
+            time_to_alarm: None,
+            time_to_shutdown: None,
+            shut_down: false,
+            peak_junction: Celsius::new(f64::NEG_INFINITY),
+            peak_agent: Celsius::new(f64::NEG_INFINITY),
+            violation_steps: 0,
+            min_utilization: drill.demand_utilization,
+            channel_health: ChannelHealth::all_valid(),
+            solver_failure: None,
+            steps: 0,
+        };
+
+        // Healthy baseline: initial temperatures and the stagnant-mode
+        // reference resistance.
+        let baseline = match ImmersionModel::new(drill.module.clone(), drill.bath.clone())
+            .with_operating_point(OperatingPoint::at_utilization(drill.demand_utilization))
+            .solve_robust_traced(obs, trace)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                obs.inc("drill.solver_failures");
+                outcome.solver_failure = Some(e.to_string());
+                return Err(Box::new(outcome));
+            }
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let chips = drill.module.compute_fpga_count() as f64;
+        let c_chip = CHIP_FIELD_CAPACITANCE_PER_CHIP * chips;
+        let stack = ImmersionModel::new(drill.module.clone(), drill.bath.clone()).chip_stack();
+        let baseline_bulk =
+            Celsius::new(0.5 * (baseline.coolant_hot.degrees() + baseline.coolant_cold.degrees()));
+        let baseline_oil = drill.bath.coolant.state(baseline_bulk);
+        let r_chip_baseline = stack
+            .total_resistance(&baseline_oil, baseline.sink_velocity)
+            .kelvin_per_watt();
+
+        Ok(Self {
+            clock: Clock::fixed_clamped(SCAN_DT.seconds(), drill.duration.seconds()),
+            rng,
+            supervised,
+            powered: true,
+            alarming: false,
+            t_chip: baseline.junction.degrees(),
+            t_bath: baseline.coolant_hot.degrees(),
+            utilization: drill.demand_utilization,
+            chips,
+            c_chip,
+            r_chip_baseline,
+            lin: None,
+            lin_key: None,
+            supervisor: HardenedSupervisor::new(drill.control),
+            outcome,
+        })
+    }
+
+    /// Runs one sensor scan + integration step. Returns `false` once
+    /// the drill horizon is reached or a mid-run solver failure ended
+    /// the drill early (the call is then a no-op).
+    pub fn step(&mut self, drill: &FaultDrill, obs: &Registry, trace: &TraceRecorder) -> bool {
+        use rcs_obs::trace::ChannelKind;
+        let Some(tick) = self.clock.tick() else {
+            return false;
+        };
+        let ch_chip = trace.channel("drill.t_chip", ChannelKind::Temperature);
+        let ch_bath = trace.channel("drill.t_bath", ChannelKind::Temperature);
+        let ch_flow = trace.channel("drill.flow_lpm", ChannelKind::Flow);
+        let ch_util = trace.channel("drill.utilization", ChannelKind::Scalar);
+        let ch_alarms = trace.channel("drill.alarms", ChannelKind::Alarm);
+        let ch_action = trace.channel("drill.action", ChannelKind::Action);
+        let hardware_limit = drill.control.component_limit;
+
+        #[allow(clippy::cast_possible_truncation)]
+        let step = tick.index as usize;
+        let t = Seconds::new(tick.t);
+        let state = drill.timeline.state_at(t);
+
+        // Relinearize the plant around the degraded steady state
+        // whenever the degraded physics (or the allowed load)
+        // changed since the last linearization.
+        if step.is_multiple_of(RELINEARIZE_EVERY) || self.lin.is_none() {
+            let key = LinKey::of(&state, self.utilization, self.powered);
+            if self.lin_key.as_ref() != Some(&key) {
+                obs.inc("drill.relinearizations");
+                match drill.linearize(
+                    &state,
+                    self.utilization,
+                    self.r_chip_baseline,
+                    self.chips,
+                    obs,
+                    trace,
+                ) {
+                    Ok(l) => {
+                        self.lin = Some(l);
+                        self.lin_key = Some(key);
+                    }
+                    Err(e) => {
+                        obs.inc("drill.solver_failures");
+                        self.outcome.solver_failure = Some(e.to_string());
+                        self.clock.finish();
+                        return false;
+                    }
+                }
+            }
+        }
+        let lin = self.lin.as_ref().expect("linearized above");
+
+        // --- sensor scan on the *current* true state -------------
+        let noise_level = self.rng.gen_range(-0.002..0.002);
+        let noise_flow = self.rng.gen_range(-0.5..0.5);
+        let noise_agent = self.rng.gen_range(-0.02..0.02);
+        let noise_component: [f64; COMPONENT_PROBES] =
+            core::array::from_fn(|_| self.rng.gen_range(-0.05..0.05));
+        let raw = RawScan {
+            level: state.sensed(
+                SensorChannel::CoolantLevel,
+                state.coolant_level + noise_level,
+                t,
+            ),
+            flow_lpm: state.sensed(SensorChannel::CoolantFlow, lin.flow_lpm + noise_flow, t),
+            agent_c: state.sensed(
+                SensorChannel::AgentTemperature,
+                self.t_bath + noise_agent,
+                t,
+            ),
+            component_c: core::array::from_fn(|i| {
+                state.sensed(
+                    SensorChannel::ComponentTemperature(i),
+                    self.t_chip + noise_component[i],
+                    t,
+                )
+            }),
+        };
+
+        if self.supervised && self.powered {
+            let (_readings, alarms, action) = self.supervisor.scan(t, &raw);
+            #[allow(clippy::cast_precision_loss)]
+            {
+                trace.record(ch_alarms, t.seconds(), alarms.len() as f64);
+                trace.record(ch_action, t.seconds(), f64::from(action.severity_rank()));
+            }
+            if !alarms.is_empty() && self.outcome.time_to_alarm.is_none() {
+                self.outcome.time_to_alarm = Some(t);
+            }
+            if !alarms.is_empty() && !self.alarming {
+                obs.inc("drill.alarm_transitions");
+            }
+            self.alarming = !alarms.is_empty();
+            match action {
+                Action::EmergencyShutdown => {
+                    self.powered = false;
+                    self.outcome.shut_down = true;
+                    self.outcome.time_to_shutdown = Some(t);
+                    obs.inc("drill.shutdowns");
+                }
+                Action::ThrottleLoad => {
+                    self.utilization = (self.utilization - THROTTLE_STEP).max(UTILIZATION_FLOOR);
+                    obs.inc("drill.throttle_actions");
+                }
+                Action::None => {
+                    self.utilization =
+                        (self.utilization + THROTTLE_STEP).min(drill.demand_utilization);
+                }
+                Action::ScheduleCoolantTopUp | Action::SwitchToStandbyPump => {}
+            }
+            self.outcome.min_utilization = self.outcome.min_utilization.min(self.utilization);
+        }
+
+        // --- integrate one scan interval -------------------------
+        let (p_field, p_other) = if self.powered {
+            let op = OperatingPoint::at_utilization(self.utilization);
+            let fpga = drill
+                .module
+                .fpga_heat(op, Celsius::new(self.t_chip))
+                .watts();
+            let total = drill
+                .module
+                .total_heat(op, Celsius::new(self.t_chip))
+                .watts();
+            (fpga, total - fpga + lin.pump_heat_w)
+        } else {
+            (0.0, lin.pump_heat_w)
+        };
+        let oil = drill.bath.coolant.state(Celsius::new(self.t_bath));
+        let c_bath = BATH_VOLUME_M3
+            * state.coolant_level.max(0.05)
+            * oil.density.kg_per_cubic_meter()
+            * oil.specific_heat.joules_per_kg_kelvin();
+        let q_field = (self.t_chip - self.t_bath) / lin.r_field;
+        let q_hx = (self.t_bath - lin.supply_c) / lin.r_hx;
+        // The last step of a non-multiple duration is clamped by the
+        // kernel grid so the drill never integrates past the requested
+        // end time (exact multiples leave every step at the full
+        // SCAN_DT, bit-for-bit).
+        let dt = tick.dt;
+        self.t_chip += dt * (p_field - q_field) / self.c_chip;
+        self.t_bath += dt * (p_other + q_field - q_hx) / c_bath;
+
+        self.outcome.peak_junction = self.outcome.peak_junction.max(Celsius::new(self.t_chip));
+        self.outcome.peak_agent = self.outcome.peak_agent.max(Celsius::new(self.t_bath));
+        if self.t_chip > hardware_limit.degrees() {
+            self.outcome.violation_steps += 1;
+        }
+        trace.record(ch_chip, t.seconds(), self.t_chip);
+        trace.record(ch_bath, t.seconds(), self.t_bath);
+        trace.record(ch_flow, t.seconds(), lin.flow_lpm);
+        trace.record(ch_util, t.seconds(), self.utilization);
+        self.outcome.steps = step + 1;
+        true
+    }
+
+    /// Advances at most `max_steps` scans; returns how many ran.
+    pub fn run(
+        &mut self,
+        drill: &FaultDrill,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        max_steps: u64,
+    ) -> u64 {
+        let mut taken = 0;
+        while taken < max_steps && self.step(drill, obs, trace) {
+            taken += 1;
+        }
+        taken
+    }
+
+    /// `true` once the drill horizon is reached (or a solver failure
+    /// ended the drill early).
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.clock.is_finished()
+    }
+
+    /// Records the end-of-run telemetry and yields the outcome plus the
+    /// advanced RNG stream.
+    #[must_use]
+    pub fn finish(mut self, obs: &Registry) -> (DrillOutcome, Rng) {
+        self.outcome.channel_health = self.supervisor.channel_health();
+        obs.add("drill.steps", self.outcome.steps as u64);
+        obs.add("drill.violation_steps", self.outcome.violation_steps as u64);
+        obs.add(
+            "drill.plausibility.rejections",
+            self.supervisor.plausibility_rejections(),
+        );
+        obs.add(
+            "drill.plausibility.dropouts",
+            self.supervisor.plausibility_dropouts(),
+        );
+        obs.add(
+            "drill.median_vote.degraded",
+            self.supervisor.votes_degraded(),
+        );
+        obs.add(
+            "drill.median_vote.fallbacks",
+            self.supervisor.vote_fallbacks(),
+        );
+        obs.work("drill.scans", self.outcome.steps as u64);
+        (self.outcome, self.rng)
+    }
+
+    /// Seals the full drill state — clock, plant state, supervisor
+    /// filter histories, cached linearization, RNG stream position,
+    /// partial outcome — plus the contents of `obs` and `trace` into
+    /// versioned snapshot bytes.
+    #[must_use]
+    pub fn checkpoint(&self, obs: &Registry, trace: &TraceRecorder) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.clock.write_into(&mut w);
+        w.u64_slice(&self.rng.state());
+        w.bool(self.supervised);
+        w.bool(self.powered);
+        w.bool(self.alarming);
+        w.f64(self.t_chip);
+        w.f64(self.t_bath);
+        w.f64(self.utilization);
+        w.f64(self.chips);
+        w.f64(self.c_chip);
+        w.f64(self.r_chip_baseline);
+        match &self.lin {
+            Some(l) => {
+                w.bool(true);
+                w.f64(l.flow_lpm);
+                w.f64(l.r_field);
+                w.f64(l.r_hx);
+                w.f64(l.supply_c);
+                w.f64(l.pump_heat_w);
+            }
+            None => w.bool(false),
+        }
+        match &self.lin_key {
+            Some(k) => {
+                w.bool(true);
+                #[allow(clippy::cast_possible_truncation)]
+                let seized: Vec<u64> = k.seized.iter().map(|&p| p as u64).collect();
+                w.u64_slice(&seized);
+                w.f64(k.head_factor);
+                w.f64(k.air_factor);
+                w.f64(k.fouling);
+                w.f64(k.offset_k);
+                w.f64(k.capacity);
+                w.f64(k.valve);
+                w.f64(k.utilization);
+                w.bool(k.powered);
+            }
+            None => w.bool(false),
+        }
+        // Supervisor: worst-seen statuses, vote tallies, filter states.
+        let health = self.supervisor.worst_seen;
+        w.u8(status_to_u8(health.level));
+        w.u8(status_to_u8(health.flow));
+        w.u8(status_to_u8(health.agent));
+        for s in health.component {
+            w.u8(status_to_u8(s));
+        }
+        w.u64(self.supervisor.votes_degraded);
+        w.u64(self.supervisor.vote_fallbacks);
+        write_filter(&mut w, &self.supervisor.level.state());
+        write_filter(&mut w, &self.supervisor.flow.state());
+        write_filter(&mut w, &self.supervisor.agent.state());
+        for f in &self.supervisor.component {
+            write_filter(&mut w, &f.state());
+        }
+        // Partial outcome.
+        w.opt_f64(self.outcome.time_to_alarm.map(|s| s.seconds()));
+        w.opt_f64(self.outcome.time_to_shutdown.map(|s| s.seconds()));
+        w.bool(self.outcome.shut_down);
+        w.f64(self.outcome.peak_junction.degrees());
+        w.f64(self.outcome.peak_agent.degrees());
+        w.u64(self.outcome.violation_steps as u64);
+        w.f64(self.outcome.min_utilization);
+        match &self.outcome.solver_failure {
+            Some(msg) => {
+                w.bool(true);
+                w.str(msg);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.outcome.steps as u64);
+        SinkState::capture(obs, trace).write_into(&mut w);
+        rcs_kernel::seal(DRILL_SNAPSHOT_KIND, &w.into_bytes())
+    }
+
+    /// Reconstructs a session from [`DrillSession::checkpoint`] bytes,
+    /// restoring the captured telemetry into the (fresh) `obs` and
+    /// `trace` sinks. The resumed session finishes bitwise identically
+    /// to the uninterrupted one — including every remaining RNG draw.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on corrupted or truncated bytes or a snapshot
+    /// of a different kind. The `drill` must be the same script the
+    /// checkpoint was taken from; the snapshot stores only the mutable
+    /// state, not the script.
+    pub fn resume(
+        drill: &FaultDrill,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        let payload = rcs_kernel::open(DRILL_SNAPSHOT_KIND, bytes)?;
+        let mut r = SnapReader::new(payload);
+        let clock = Clock::read_from(&mut r)?;
+        let rng_state = r.u64_vec()?;
+        let rng_state: [u64; 4] = rng_state.as_slice().try_into().map_err(|_| {
+            SnapshotError::Malformed(format!("rng state has {} words, need 4", rng_state.len()))
+        })?;
+        if rng_state.iter().all(|&wd| wd == 0) {
+            return Err(SnapshotError::Malformed("rng state is all zero".to_owned()));
+        }
+        let supervised = r.bool()?;
+        let powered = r.bool()?;
+        let alarming = r.bool()?;
+        let t_chip = r.f64()?;
+        let t_bath = r.f64()?;
+        let utilization = r.f64()?;
+        let chips = r.f64()?;
+        let c_chip = r.f64()?;
+        let r_chip_baseline = r.f64()?;
+        let lin = if r.bool()? {
+            Some(Linearization {
+                flow_lpm: r.f64()?,
+                r_field: r.f64()?,
+                r_hx: r.f64()?,
+                supply_c: r.f64()?,
+                pump_heat_w: r.f64()?,
+            })
+        } else {
+            None
+        };
+        let lin_key = if r.bool()? {
+            let seized_raw = r.u64_vec()?;
+            let mut seized = Vec::with_capacity(seized_raw.len());
+            for v in seized_raw {
+                seized.push(usize::try_from(v).map_err(|_| {
+                    SnapshotError::Malformed(format!("seized pump index {v} overflows usize"))
+                })?);
+            }
+            Some(LinKey {
+                seized,
+                head_factor: r.f64()?,
+                air_factor: r.f64()?,
+                fouling: r.f64()?,
+                offset_k: r.f64()?,
+                capacity: r.f64()?,
+                valve: r.f64()?,
+                utilization: r.f64()?,
+                powered: r.bool()?,
+            })
+        } else {
+            None
+        };
+        let mut supervisor = HardenedSupervisor::new(drill.control);
+        supervisor.worst_seen = ChannelHealth {
+            level: status_from_u8(r.u8()?)?,
+            flow: status_from_u8(r.u8()?)?,
+            agent: status_from_u8(r.u8()?)?,
+            component: [
+                status_from_u8(r.u8()?)?,
+                status_from_u8(r.u8()?)?,
+                status_from_u8(r.u8()?)?,
+            ],
+        };
+        supervisor.votes_degraded = r.u64()?;
+        supervisor.vote_fallbacks = r.u64()?;
+        supervisor.level.restore_state(&read_filter(&mut r)?);
+        supervisor.flow.restore_state(&read_filter(&mut r)?);
+        supervisor.agent.restore_state(&read_filter(&mut r)?);
+        for f in &mut supervisor.component {
+            f.restore_state(&read_filter(&mut r)?);
+        }
+        let time_to_alarm = r.opt_f64()?.map(Seconds::new);
+        let time_to_shutdown = r.opt_f64()?.map(Seconds::new);
+        let shut_down = r.bool()?;
+        let peak_junction = Celsius::new(r.f64()?);
+        let peak_agent = Celsius::new(r.f64()?);
+        let violation_steps = r.u64()?;
+        let min_utilization = r.f64()?;
+        let solver_failure = if r.bool()? { Some(r.str()?) } else { None };
+        let steps = r.u64()?;
+        let sinks = SinkState::read_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Malformed(
+                "trailing bytes after drill session state".to_owned(),
+            ));
+        }
+        sinks.restore(obs, trace)?;
+        let to_usize = |v: u64, what: &str| {
+            usize::try_from(v)
+                .map_err(|_| SnapshotError::Malformed(format!("{what} {v} overflows usize")))
+        };
+        let outcome = DrillOutcome {
+            name: drill.name.clone(),
+            design: drill.module.name().to_owned(),
+            supervised,
+            time_to_alarm,
+            time_to_shutdown,
+            shut_down,
+            peak_junction,
+            peak_agent,
+            violation_steps: to_usize(violation_steps, "violation steps")?,
+            min_utilization,
+            channel_health: ChannelHealth::all_valid(),
+            solver_failure,
+            steps: to_usize(steps, "steps")?,
+        };
+        Ok(Self {
+            clock,
+            rng: Rng::from_state(rng_state),
+            supervised,
+            powered,
+            alarming,
+            t_chip,
+            t_bath,
+            utilization,
+            chips,
+            c_chip,
+            r_chip_baseline,
+            lin,
+            lin_key,
+            supervisor,
+            outcome,
         })
     }
 }
@@ -1015,5 +1444,130 @@ mod tests {
         let a = drill.run(&mut Rng::seed_from_u64(123));
         let b = drill.run(&mut Rng::seed_from_u64(123));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drill_session_checkpoint_resume_is_bitwise_identical() {
+        use rcs_obs::trace::TraceRecorder;
+
+        // A drill that exercises every stateful subsystem: the pump
+        // seizure trips relinearizations, alarms, throttles and an
+        // emergency shutdown, so filter histories, vote tallies and the
+        // partial outcome are all non-trivial at the split points.
+        let timeline = || {
+            FaultTimeline::new()
+                .with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 })
+        };
+        let drill = FaultDrill::skat("resume", timeline(), Seconds::minutes(20.0));
+
+        let obs_ref = Registry::new();
+        let trace_ref = TraceRecorder::new();
+        let mut rng_ref = rng();
+        let reference = drill.run_traced(&mut rng_ref, &obs_ref, &trace_ref);
+        assert_eq!(reference.steps, 600, "20 min at 2 s scans");
+
+        // Splits straddle the seizure (scan 60), the shutdown region and
+        // both endpoints (0 = checkpoint before any scan, 600 = after
+        // the last one).
+        for k in [0u64, 1, 59, 60, 61, 137, 599, 600] {
+            let obs_a = Registry::new();
+            let trace_a = TraceRecorder::new();
+            let mut session =
+                DrillSession::new(&drill, Rng::seed_from_u64(7), true, &obs_a, &trace_a)
+                    .expect("baseline solves");
+            session.run(&drill, &obs_a, &trace_a, k);
+            let bytes = session.checkpoint(&obs_a, &trace_a);
+
+            let obs_b = Registry::new();
+            let trace_b = TraceRecorder::new();
+            let mut resumed =
+                DrillSession::resume(&drill, &bytes, &obs_b, &trace_b).expect("snapshot opens");
+            while resumed.step(&drill, &obs_b, &trace_b) {}
+            assert!(resumed.is_finished());
+            let (outcome, final_rng) = resumed.finish(&obs_b);
+
+            assert_eq!(outcome, reference, "outcome diverged at split {k}");
+            assert_eq!(
+                obs_b.snapshot(),
+                obs_ref.snapshot(),
+                "golden counters diverged at split {k}"
+            );
+            assert_eq!(
+                trace_b.snapshot(),
+                trace_ref.snapshot(),
+                "traces diverged at split {k}"
+            );
+            assert_eq!(
+                final_rng.state(),
+                rng_ref.state(),
+                "rng stream diverged at split {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_drill_snapshot_is_a_structured_error() {
+        use rcs_obs::trace::TraceRecorder;
+
+        let drill = nominal_drill();
+        let obs = Registry::new();
+        let trace = TraceRecorder::new();
+        let mut session = DrillSession::new(&drill, rng(), true, &obs, &trace).unwrap();
+        session.run(&drill, &obs, &trace, 50);
+        let bytes = session.checkpoint(&obs, &trace);
+
+        // Bit flip anywhere in the payload: caught by the CRC.
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 2] ^= 0x10;
+        assert!(matches!(
+            DrillSession::resume(&drill, &flipped, &Registry::new(), &TraceRecorder::new()),
+            Err(SnapshotError::BadCrc { .. })
+        ));
+
+        // Truncation: never a panic, always a structured error.
+        for cut in [0, 3, 8, bytes.len() - 9, bytes.len() - 1] {
+            assert!(
+                DrillSession::resume(
+                    &drill,
+                    &bytes[..cut],
+                    &Registry::new(),
+                    &TraceRecorder::new()
+                )
+                .is_err(),
+                "truncated at {cut}"
+            );
+        }
+
+        // A valid snapshot of a *different* kind is refused by name.
+        let foreign = rcs_kernel::seal("some.other.session", b"payload");
+        assert!(matches!(
+            DrillSession::resume(&drill, &foreign, &Registry::new(), &TraceRecorder::new()),
+            Err(SnapshotError::BadKind { .. })
+        ));
+    }
+
+    #[test]
+    fn drill_horizon_seam_never_double_counts_the_final_scan() {
+        // Horizons a hair either side of an exact scan multiple: the
+        // kernel's ceil-based scheduler and the per-step clamp must
+        // agree. Below the multiple the last scan is clamped short; just
+        // above it one extra (tiny) scan runs; neither side integrates a
+        // phantom zero- or negative-width step.
+        let eps = 1e-9;
+        let n = 150.0; // 150 scans at SCAN_DT = 2 s -> 300 s
+        let base = n * SCAN_DT.seconds();
+
+        let below = FaultDrill::skat("seam below", FaultTimeline::new(), Seconds::new(base - eps))
+            .run_open_loop(&mut rng());
+        let exact = FaultDrill::skat("seam exact", FaultTimeline::new(), Seconds::new(base))
+            .run_open_loop(&mut rng());
+        let above = FaultDrill::skat("seam above", FaultTimeline::new(), Seconds::new(base + eps))
+            .run_open_loop(&mut rng());
+
+        assert_eq!(below.steps, 150, "clamped final scan, not a dropped one");
+        assert_eq!(exact.steps, 150);
+        assert_eq!(above.steps, 151, "the ε overhang is one extra clamped scan");
+        assert!(below.peak_junction.degrees().is_finite());
+        assert!(above.peak_junction.degrees().is_finite());
     }
 }

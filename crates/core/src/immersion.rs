@@ -664,7 +664,18 @@ impl ImmersionModel {
         step: Seconds,
         obs: &Registry,
     ) -> Result<WarmupTrace, CoreError> {
-        obs.inc("immersion.warmup.calls");
+        let mut session = WarmupSession::new(self, duration, step, obs)?;
+        while session.step() {}
+        Ok(session.finish(obs, rcs_obs::trace::TraceRecorder::disabled()))
+    }
+
+    /// Builds the two-node warm-up network (chip field + oil bath
+    /// against the chilled-water boundary) around the solved steady
+    /// state, recording the steady solve's telemetry into `obs`.
+    fn warmup_network(
+        &self,
+        obs: &Registry,
+    ) -> Result<(ThermalNetwork, NodeId, NodeId), CoreError> {
         // Freeze the convection operating point at the solved steady state
         // so the transient uses consistent resistances.
         let steady = self.solve_observed(obs)?;
@@ -705,14 +716,7 @@ impl ImmersionModel {
             bath_node,
             steady.total_heat - self.module.fpga_heat(self.op, steady.junction),
         )?;
-
-        let trace =
-            net.solve_transient_observed(self.bath.chiller.setpoint(), duration, step, obs)?;
-        Ok(WarmupTrace {
-            trace,
-            chip_node,
-            bath_node,
-        })
+        Ok((net, chip_node, bath_node))
     }
 
     /// [`ImmersionModel::warmup_observed`] plus trace recording: the
@@ -731,8 +735,92 @@ impl ImmersionModel {
         obs: &Registry,
         trace: &rcs_obs::trace::TraceRecorder,
     ) -> Result<WarmupTrace, CoreError> {
+        let mut session = WarmupSession::new(self, duration, step, obs)?;
+        while session.step() {}
+        Ok(session.finish(obs, trace))
+    }
+}
+
+/// A resumable warm-up: [`ImmersionModel::warmup`] hoisted onto the
+/// `rcs-kernel` stepping kernel.
+///
+/// The session owns the warm-up network (a pure function of the model,
+/// rebuilt on resume) and the embedded [`rcs_thermal::TransientSession`] carrying
+/// all mutable state. [`WarmupSession::checkpoint`] seals that state —
+/// sinks included — into versioned bytes; [`WarmupSession::resume`]
+/// reconstructs a session that finishes **bitwise** identically to one
+/// that was never interrupted.
+#[derive(Debug)]
+pub struct WarmupSession {
+    net: ThermalNetwork,
+    chip_node: NodeId,
+    bath_node: NodeId,
+    inner: rcs_thermal::TransientSession,
+}
+
+/// Snapshot kind tag of [`WarmupSession::checkpoint`] bytes.
+pub const WARMUP_SNAPSHOT_KIND: &str = "core.warmup";
+
+impl WarmupSession {
+    /// Solves the steady state, builds the warm-up network and prepares
+    /// the integration — recording exactly the telemetry the
+    /// uninterrupted warm-up records up to its first step.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::warmup`].
+    pub fn new(
+        model: &ImmersionModel,
+        duration: Seconds,
+        step: Seconds,
+        obs: &Registry,
+    ) -> Result<Self, CoreError> {
+        obs.inc("immersion.warmup.calls");
+        let (net, chip_node, bath_node) = model.warmup_network(obs)?;
+        obs.inc("thermal.transient.calls");
+        let initial = net.uniform_initial(model.bath.chiller.setpoint());
+        match rcs_thermal::TransientSession::new(&net, &initial, duration, step) {
+            Ok(inner) => Ok(Self {
+                net,
+                chip_node,
+                bath_node,
+                inner,
+            }),
+            Err(e) => {
+                obs.inc("thermal.transient.errors");
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Advances one integration step. Returns `false` once the horizon
+    /// is reached (the call is then a no-op).
+    pub fn step(&mut self) -> bool {
+        self.inner.step(&self.net)
+    }
+
+    /// Advances at most `max_steps` steps; returns how many ran.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        self.inner.run(&self.net, max_steps)
+    }
+
+    /// `true` once the horizon is reached.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Records the end-of-run telemetry (transient step counters into
+    /// `obs`, the `immersion.warmup.chip` / `immersion.warmup.bath`
+    /// series into `trace`) and yields the warm-up trace.
+    #[must_use]
+    pub fn finish(self, obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> WarmupTrace {
         use rcs_obs::trace::ChannelKind;
-        let warmup = self.warmup_observed(duration, step, obs)?;
+        let warmup = WarmupTrace {
+            trace: self.inner.finish_observed(&self.net, obs),
+            chip_node: self.chip_node,
+            bath_node: self.bath_node,
+        };
         if trace.is_enabled() {
             let chip = trace.channel("immersion.warmup.chip", ChannelKind::Temperature);
             let bath = trace.channel("immersion.warmup.bath", ChannelKind::Temperature);
@@ -743,7 +831,49 @@ impl ImmersionModel {
                 trace.record(bath, t.seconds(), temp.degrees());
             }
         }
-        Ok(warmup)
+        warmup
+    }
+
+    /// Seals the warm-up state — the embedded transient session plus
+    /// the contents of `obs` and `trace` — into versioned snapshot
+    /// bytes. The network itself is not captured; it is a pure function
+    /// of the model and is rebuilt on [`WarmupSession::resume`].
+    #[must_use]
+    pub fn checkpoint(&self, obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<u8> {
+        rcs_kernel::seal(WARMUP_SNAPSHOT_KIND, &self.inner.checkpoint(obs, trace))
+    }
+
+    /// Reconstructs a session from [`WarmupSession::checkpoint`] bytes,
+    /// rebuilding the warm-up network from `model` (silently — its
+    /// construction telemetry is already inside the snapshot) and
+    /// restoring the captured sinks into `obs` and `trace`.
+    ///
+    /// # Errors
+    ///
+    /// [`rcs_kernel::SnapshotError`] on corrupted or truncated bytes, a
+    /// snapshot of a different kind, or a `model` whose warm-up network
+    /// does not match the captured state.
+    pub fn resume(
+        model: &ImmersionModel,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<Self, rcs_kernel::SnapshotError> {
+        let inner_bytes = rcs_kernel::open(WARMUP_SNAPSHOT_KIND, bytes)?;
+        // The network is derived state: rebuild it under disabled sinks
+        // (the original construction's telemetry is part of the captured
+        // sink state, so re-recording it would double-count).
+        let (net, chip_node, bath_node) =
+            model.warmup_network(Registry::disabled()).map_err(|e| {
+                rcs_kernel::SnapshotError::Malformed(format!("model rejected on resume: {e}"))
+            })?;
+        let inner = rcs_thermal::TransientSession::resume(&net, inner_bytes, obs, trace)?;
+        Ok(Self {
+            net,
+            chip_node,
+            bath_node,
+            inner,
+        })
     }
 }
 
@@ -989,5 +1119,91 @@ mod tests {
             .solve()
             .unwrap();
         assert!(immersion.cooling_overhead() < air.cooling_overhead());
+    }
+
+    #[test]
+    fn warmup_session_checkpoint_resume_is_bitwise_identical() {
+        use rcs_obs::trace::TraceRecorder;
+
+        let model = ImmersionModel::skat();
+        let duration = Seconds::minutes(30.0);
+        let step = Seconds::new(5.0); // 360 steps
+
+        let obs_ref = Registry::new();
+        let trace_ref = TraceRecorder::new();
+        let reference = model
+            .warmup_traced(duration, step, &obs_ref, &trace_ref)
+            .unwrap();
+
+        for k in [0u64, 1, 179, 359, 360] {
+            let obs_a = Registry::new();
+            let trace_a = TraceRecorder::new();
+            let mut session = WarmupSession::new(&model, duration, step, &obs_a).unwrap();
+            session.run(k);
+            let bytes = session.checkpoint(&obs_a, &trace_a);
+
+            let obs_b = Registry::new();
+            let trace_b = TraceRecorder::new();
+            let mut resumed =
+                WarmupSession::resume(&model, &bytes, &obs_b, &trace_b).expect("snapshot opens");
+            while resumed.step() {}
+            assert!(resumed.is_finished());
+            let warmup = resumed.finish(&obs_b, &trace_b);
+
+            assert_eq!(
+                warmup.chip_series(),
+                reference.chip_series(),
+                "chip series diverged at split {k}"
+            );
+            assert_eq!(
+                warmup.bath_series(),
+                reference.bath_series(),
+                "bath series diverged at split {k}"
+            );
+            assert_eq!(
+                warmup.final_chip_temperature().degrees().to_bits(),
+                reference.final_chip_temperature().degrees().to_bits(),
+                "final chip temp diverged at split {k}"
+            );
+            assert_eq!(
+                obs_b.snapshot(),
+                obs_ref.snapshot(),
+                "golden counters diverged at split {k}"
+            );
+            assert_eq!(
+                trace_b.snapshot(),
+                trace_ref.snapshot(),
+                "traces diverged at split {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_warmup_snapshot_is_a_structured_error() {
+        use rcs_obs::trace::TraceRecorder;
+
+        let model = ImmersionModel::skat();
+        let obs = Registry::new();
+        let mut session =
+            WarmupSession::new(&model, Seconds::minutes(10.0), Seconds::new(5.0), &obs).unwrap();
+        session.run(17);
+        let bytes = session.checkpoint(&obs, TraceRecorder::disabled());
+
+        let mut flipped = bytes.clone();
+        flipped[bytes.len() / 3] ^= 0x40;
+        assert!(WarmupSession::resume(
+            &model,
+            &flipped,
+            &Registry::new(),
+            TraceRecorder::disabled()
+        )
+        .is_err());
+        assert!(WarmupSession::resume(
+            &model,
+            &bytes[..bytes.len() - 5],
+            &Registry::new(),
+            TraceRecorder::disabled()
+        )
+        .is_err());
     }
 }

@@ -51,12 +51,12 @@ mod supervisor;
 pub use air::AirCooledModel;
 pub use coldplate::ColdPlateModel;
 pub use drill::{
-    ChannelHealth, DrillOutcome, FaultDrill, HardenedSupervisor, RawScan, COMPONENT_PROBES,
-    SCAN_DT, SHUTDOWN_MARGIN_K,
+    ChannelHealth, DrillOutcome, DrillSession, FaultDrill, HardenedSupervisor, RawScan,
+    COMPONENT_PROBES, DRILL_SNAPSHOT_KIND, SCAN_DT, SHUTDOWN_MARGIN_K,
 };
 pub use error::CoreError;
 pub use fleet::{FleetConfig, FleetOutcome, FleetSimulation};
-pub use immersion::{ImmersionModel, WarmupTrace};
+pub use immersion::{ImmersionModel, WarmupSession, WarmupTrace, WARMUP_SNAPSHOT_KIND};
 pub use rack_model::{RackImmersionModel, RackReport};
 pub use report::SteadyReport;
 pub use supervisor::{SupervisionOutcome, SupervisionStep, Supervisor};

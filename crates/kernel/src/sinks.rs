@@ -1,0 +1,275 @@
+//! Checkpointing the observability sinks.
+//!
+//! A kernel checkpoint must carry not just the solver state but the
+//! *telemetry* state: every golden counter, histogram bucket and trace
+//! sample recorded so far, plus each trace channel's decimation cursor
+//! (stride and push count). Restoring into a **fresh** [`Registry`] and
+//! [`TraceRecorder`] then reproduces, bitwise, the sinks a straight
+//! uninterrupted run would have produced.
+//!
+//! Two obs channels are deliberately *not* captured: notes and span
+//! timings. Both are non-golden by design (wall-clock, worker counts),
+//! excluded from snapshot equality and from profile diffs, so a resumed
+//! run may legitimately differ there.
+//!
+//! Restore semantics mirror straight-through behavior: absorbing into a
+//! disabled sink is a silent no-op, because a straight run against a
+//! disabled sink records nothing either.
+
+use rcs_obs::trace::{ChannelKind, ChannelSnapshot, Sample, TraceRecorder, TraceSnapshot};
+use rcs_obs::{FHistogramSnapshot, HistogramSnapshot, Registry, Snapshot};
+
+use crate::snap::{SnapReader, SnapWriter, SnapshotError};
+
+/// Captured state of one run's observability sinks: the golden
+/// [`Registry`] snapshot plus the full [`TraceRecorder`] state
+/// (channels, samples, decimation cursors, capacity, enablement).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinkState {
+    /// Golden counters / histograms at capture time.
+    pub obs: Snapshot,
+    /// Trace channels at capture time, including decimation cursors.
+    pub trace: TraceSnapshot,
+    /// Capacity of the captured recorder — restore targets must match,
+    /// or decimation would diverge from the straight-through run.
+    pub trace_capacity: usize,
+    /// Whether the captured recorder was enabled at all.
+    pub trace_enabled: bool,
+}
+
+impl SinkState {
+    /// Captures the current state of `obs` and `trace`.
+    #[must_use]
+    pub fn capture(obs: &Registry, trace: &TraceRecorder) -> Self {
+        Self {
+            obs: obs.snapshot(),
+            trace: trace.snapshot(),
+            trace_capacity: trace.capacity(),
+            trace_enabled: trace.is_enabled(),
+        }
+    }
+
+    /// Restores the captured state into **fresh** sinks: golden
+    /// counters are absorbed (exact additive merge into empty sinks is
+    /// an exact restore) and trace channels are installed verbatim,
+    /// cursors included.
+    ///
+    /// A disabled target sink is skipped silently — that matches what a
+    /// straight-through run against the same disabled sink records.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] when the target recorder is enabled
+    /// with a different capacity than the captured one: future
+    /// decimation would then diverge from the uninterrupted run, which
+    /// breaks the resume-equivalence contract.
+    pub fn restore(&self, obs: &Registry, trace: &TraceRecorder) -> Result<(), SnapshotError> {
+        obs.absorb(&self.obs);
+        if trace.is_enabled() {
+            if self.trace_enabled && trace.capacity() != self.trace_capacity {
+                return Err(SnapshotError::Malformed(format!(
+                    "trace capacity mismatch: snapshot captured at {}, restore target has {}",
+                    self.trace_capacity,
+                    trace.capacity()
+                )));
+            }
+            trace.restore_channels(&self.trace);
+        }
+        Ok(())
+    }
+
+    /// Serializes the sink state into `w`.
+    pub fn write_into(&self, w: &mut SnapWriter) {
+        w.count(self.obs.counters.len());
+        for (name, value) in &self.obs.counters {
+            w.str(name);
+            w.u64(*value);
+        }
+        w.count(self.obs.histograms.len());
+        for (name, h) in &self.obs.histograms {
+            w.str(name);
+            w.u64_slice(&h.bounds);
+            w.u64_slice(&h.counts);
+        }
+        w.count(self.obs.fhistograms.len());
+        for (name, h) in &self.obs.fhistograms {
+            w.str(name);
+            w.f64_slice(&h.edges);
+            w.u64_slice(&h.counts);
+        }
+        w.bool(self.trace_enabled);
+        // A capacity, not a byte length — skip the length sanity bound.
+        w.u64(self.trace_capacity as u64);
+        w.count(self.trace.channels.len());
+        for ch in &self.trace.channels {
+            w.str(&ch.name);
+            w.str(ch.kind.as_str());
+            w.u64(ch.stride);
+            w.u64(ch.pushed);
+            w.count(ch.samples.len());
+            for s in &ch.samples {
+                w.u64(s.index);
+                w.f64(s.t);
+                w.f64(s.value);
+            }
+        }
+    }
+
+    /// Reconstructs a sink state serialized by [`SinkState::write_into`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on truncated bytes or an unknown channel-kind
+    /// token.
+    pub fn read_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let n = r.count()?;
+        let mut counters = Vec::with_capacity(n);
+        for _ in 0..n {
+            counters.push((r.str()?, r.u64()?));
+        }
+        let n = r.count()?;
+        let mut histograms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let bounds = r.u64_vec()?;
+            let counts = r.u64_vec()?;
+            histograms.push((name, HistogramSnapshot { bounds, counts }));
+        }
+        let n = r.count()?;
+        let mut fhistograms = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let edges = r.f64_vec()?;
+            let counts = r.u64_vec()?;
+            fhistograms.push((name, FHistogramSnapshot { edges, counts }));
+        }
+        let trace_enabled = r.bool()?;
+        let raw_capacity = r.u64()?;
+        let trace_capacity = usize::try_from(raw_capacity).map_err(|_| {
+            SnapshotError::Malformed(format!("trace capacity {raw_capacity} overflows usize"))
+        })?;
+        let n = r.count()?;
+        let mut channels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let kind_token = r.str()?;
+            let kind = ChannelKind::parse(&kind_token).ok_or_else(|| {
+                SnapshotError::Malformed(format!("unknown channel kind {kind_token:?}"))
+            })?;
+            let stride = r.u64()?;
+            let pushed = r.u64()?;
+            let m = r.count()?;
+            let mut samples = Vec::with_capacity(m);
+            for _ in 0..m {
+                samples.push(Sample {
+                    index: r.u64()?,
+                    t: r.f64()?,
+                    value: r.f64()?,
+                });
+            }
+            channels.push(ChannelSnapshot {
+                name,
+                kind,
+                stride,
+                pushed,
+                samples,
+            });
+        }
+        Ok(Self {
+            obs: Snapshot {
+                counters,
+                histograms,
+                fhistograms,
+            },
+            trace: TraceSnapshot { channels },
+            trace_capacity,
+            trace_enabled,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_sinks() -> (Registry, TraceRecorder) {
+        let obs = Registry::new();
+        obs.inc("kernel.test.runs");
+        obs.add("kernel.test.items", 41);
+        obs.record_histogram("kernel.test.sizes", &[2, 4, 8], 5);
+        obs.record_histogram("kernel.test.sizes", &[2, 4, 8], 3);
+        obs.record_histogram_f64("kernel.test.temps", &[10.0, 20.0], 14.25);
+        let trace = TraceRecorder::with_capacity(8);
+        let ch = trace.channel("kernel.test.temp", ChannelKind::Temperature);
+        for i in 0..37 {
+            trace.record(ch, f64::from(i) * 0.5, 20.0 + f64::from(i));
+        }
+        (obs, trace)
+    }
+
+    #[test]
+    fn capture_serialize_restore_is_bitwise() {
+        let (obs, trace) = busy_sinks();
+        let state = SinkState::capture(&obs, &trace);
+
+        let mut w = SnapWriter::new();
+        state.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let decoded = SinkState::read_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(decoded, state);
+
+        let obs2 = Registry::new();
+        let trace2 = TraceRecorder::with_capacity(8);
+        decoded.restore(&obs2, &trace2).unwrap();
+        assert_eq!(obs2.snapshot(), obs.snapshot());
+        assert_eq!(trace2.snapshot(), trace.snapshot());
+
+        // The restored recorder decimates exactly like the original on
+        // further pushes — the cursor survived the round trip.
+        let ch1 = trace.channel("kernel.test.temp", ChannelKind::Temperature);
+        let ch2 = trace2.channel("kernel.test.temp", ChannelKind::Temperature);
+        for i in 37..200 {
+            trace.record(ch1, f64::from(i) * 0.5, 20.0 + f64::from(i));
+            trace2.record(ch2, f64::from(i) * 0.5, 20.0 + f64::from(i));
+        }
+        assert_eq!(trace2.snapshot(), trace.snapshot());
+    }
+
+    #[test]
+    fn restore_into_disabled_sinks_is_a_silent_noop() {
+        let (obs, trace) = busy_sinks();
+        let state = SinkState::capture(&obs, &trace);
+        let obs2 = Registry::disabled();
+        let trace2 = TraceRecorder::disabled();
+        state.restore(obs2, trace2).unwrap();
+        assert!(obs2.snapshot().counters.is_empty());
+        assert!(trace2.snapshot().is_empty());
+    }
+
+    #[test]
+    fn capacity_mismatch_is_a_structured_error() {
+        let (obs, trace) = busy_sinks();
+        let state = SinkState::capture(&obs, &trace);
+        let obs2 = Registry::new();
+        let trace2 = TraceRecorder::with_capacity(16);
+        assert!(matches!(
+            state.restore(&obs2, &trace2),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_sink_bytes_decode_to_an_error() {
+        let (obs, trace) = busy_sinks();
+        let state = SinkState::capture(&obs, &trace);
+        let mut w = SnapWriter::new();
+        state.write_into(&mut w);
+        let bytes = w.into_bytes();
+        for n in (0..bytes.len()).step_by(7) {
+            let mut r = SnapReader::new(&bytes[..n]);
+            assert!(SinkState::read_from(&mut r).is_err(), "truncated at {n}");
+        }
+    }
+}

@@ -1,5 +1,66 @@
 //! Fixed-step ODE integration.
 
+/// Scratch buffers for [`rk4_step`]: the four stage slopes plus one
+/// stage-state buffer, all of the state dimension. Reused across steps
+/// so a long transient allocates once.
+#[derive(Debug, Clone)]
+pub struct Rk4Scratch {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+}
+
+impl Rk4Scratch {
+    /// Scratch space for an `n`-dimensional state.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            k1: vec![0.0; n],
+            k2: vec![0.0; n],
+            k3: vec![0.0; n],
+            k4: vec![0.0; n],
+            tmp: vec![0.0; n],
+        }
+    }
+}
+
+/// One classic fourth-order Runge-Kutta step of `dy/dt = f(t, y)` from
+/// `t` to `t + dt`, mutating `y` in place. This is the single-step core
+/// [`rk4`] loops over; the stepping kernel (`rcs-kernel` sessions)
+/// drives it directly so a resumed transient performs the exact same
+/// arithmetic, in the exact same order, as an uninterrupted one.
+pub fn rk4_step<F>(y: &mut [f64], t: f64, dt: f64, f: &mut F, scratch: &mut Rk4Scratch)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = y.len();
+    let Rk4Scratch {
+        k1,
+        k2,
+        k3,
+        k4,
+        tmp,
+    } = scratch;
+    f(t, y, k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k1[i];
+    }
+    f(t + 0.5 * dt, tmp, k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k2[i];
+    }
+    f(t + 0.5 * dt, tmp, k3);
+    for i in 0..n {
+        tmp[i] = y[i] + dt * k3[i];
+    }
+    f(t + dt, tmp, k4);
+    for i in 0..n {
+        y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
 /// Integrates `dy/dt = f(t, y)` from `t0` to `t1` with classic fourth-order
 /// Runge-Kutta, mutating `y` in place and invoking `observe(t, y)` after
 /// every step (including once for the initial state).
@@ -38,33 +99,12 @@ where
     }
     let steps = (span / max_dt).ceil().max(1.0) as usize;
     let dt = span / steps as f64;
-    let n = y.len();
-
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut k3 = vec![0.0; n];
-    let mut k4 = vec![0.0; n];
-    let mut tmp = vec![0.0; n];
+    let mut scratch = Rk4Scratch::new(y.len());
 
     observe(t0, y);
     let mut t = t0;
     for _ in 0..steps {
-        f(t, y, &mut k1);
-        for i in 0..n {
-            tmp[i] = y[i] + 0.5 * dt * k1[i];
-        }
-        f(t + 0.5 * dt, &tmp, &mut k2);
-        for i in 0..n {
-            tmp[i] = y[i] + 0.5 * dt * k2[i];
-        }
-        f(t + 0.5 * dt, &tmp, &mut k3);
-        for i in 0..n {
-            tmp[i] = y[i] + dt * k3[i];
-        }
-        f(t + dt, &tmp, &mut k4);
-        for i in 0..n {
-            y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-        }
+        rk4_step(y, t, dt, &mut f, &mut scratch);
         t += dt;
         observe(t, y);
     }

@@ -67,6 +67,32 @@ impl Rng {
         }
     }
 
+    /// The raw 256-bit engine state — the generator's exact stream
+    /// position. Together with [`Rng::from_state`] this is the
+    /// checkpoint/restore hook of the simulation kernel: a restored
+    /// generator replays the remaining stream bit-for-bit.
+    #[must_use]
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator at an exact stream position captured by
+    /// [`Rng::state`]. The all-zero state is a fixed point of the
+    /// engine (it only ever emits zeros) and can never be produced by
+    /// [`Rng::seed_from_u64`], so it is rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is all zeros.
+    #[must_use]
+    pub fn from_state(state: [u64; 4]) -> Self {
+        assert!(
+            state.iter().any(|&w| w != 0),
+            "the all-zero xoshiro state is degenerate"
+        );
+        Self { s: state }
+    }
+
     /// Returns the next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

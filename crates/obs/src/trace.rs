@@ -357,6 +357,52 @@ impl TraceRecorder {
             }
         }
     }
+
+    /// Installs a snapshot **verbatim** — stride, push count and
+    /// retained samples copied exactly, with no re-push and therefore no
+    /// re-decimation. This is the checkpoint/restore hook of the
+    /// simulation kernel: where [`TraceRecorder::absorb`] *replays* a
+    /// shard (advancing push counts and possibly re-decimating), a
+    /// restore must reproduce the recorder's exact mid-run state so the
+    /// resumed run's future pushes decimate identically to an
+    /// uninterrupted one.
+    ///
+    /// Intended for a **fresh recorder of the same capacity** as the one
+    /// captured; a channel name that already exists is overwritten in
+    /// place (its kind must match). A no-op on the disabled sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing channel name is restored with a different
+    /// kind — the same identity rule as [`TraceRecorder::channel`].
+    pub fn restore_channels(&self, snapshot: &TraceSnapshot) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.lock();
+        for ch in &snapshot.channels {
+            if let Some(&i) = inner.index.get(&ch.name) {
+                assert_eq!(
+                    inner.channels[i].kind, ch.kind,
+                    "trace channel {} restored with a different kind",
+                    ch.name
+                );
+                inner.channels[i].stride = ch.stride;
+                inner.channels[i].pushed = ch.pushed;
+                inner.channels[i].samples = ch.samples.clone();
+            } else {
+                let i = inner.channels.len();
+                inner.channels.push(ChannelState {
+                    name: ch.name.clone(),
+                    kind: ch.kind,
+                    stride: ch.stride,
+                    pushed: ch.pushed,
+                    samples: ch.samples.clone(),
+                });
+                inner.index.insert(ch.name.clone(), i);
+            }
+        }
+    }
 }
 
 /// The bounded push: keep the sample if its index is on-stride, and
@@ -585,6 +631,36 @@ mod tests {
         assert_eq!(snap.channels.len(), 2);
         assert_eq!(snap.channel("cell 0/t").unwrap().samples[0].value, 1.0);
         assert_eq!(snap.channel("cell 1/t").unwrap().samples[0].value, 9.0);
+    }
+
+    #[test]
+    fn restore_is_verbatim_where_absorb_replays() {
+        // Fill a channel past capacity so it decimates mid-stream.
+        let original = TraceRecorder::with_capacity(8);
+        let ch = original.channel("x", ChannelKind::Scalar);
+        for i in 0..37 {
+            original.record(ch, f64::from(i), f64::from(i) * 3.0);
+        }
+        let snap = original.snapshot();
+
+        // Verbatim restore reproduces stride/pushed/samples exactly...
+        let restored = TraceRecorder::with_capacity(8);
+        restored.restore_channels(&snap);
+        assert_eq!(restored.snapshot(), snap);
+
+        // ...so continuing both recorders stays bit-identical.
+        let ch2 = restored.channel("x", ChannelKind::Scalar);
+        for i in 37..200 {
+            original.record(ch, f64::from(i), f64::from(i) * 3.0);
+            restored.record(ch2, f64::from(i), f64::from(i) * 3.0);
+        }
+        assert_eq!(restored.snapshot(), original.snapshot());
+
+        // An absorb of the same snapshot is a replay, not a restore:
+        // push counts differ (only retained samples are re-pushed).
+        let absorbed = TraceRecorder::with_capacity(8);
+        absorbed.absorb(&snap);
+        assert_ne!(absorbed.snapshot().channel("x").unwrap().pushed, 37);
     }
 
     #[test]

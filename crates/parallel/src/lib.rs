@@ -379,9 +379,35 @@ where
     F: Fn(usize, T, &Registry, &TraceRecorder) -> R + Sync,
     L: Fn(usize) -> String,
 {
-    let n = items.len();
     obs.inc("parallel.maps");
-    obs.add("parallel.tasks", n as u64);
+    obs.add("parallel.tasks", items.len() as u64);
+    par_map_shards(items, threads, obs, trace, label, f)
+}
+
+/// [`par_map_traced`] **without** the golden map-shape counters
+/// (`parallel.maps` / `parallel.tasks`) — the shard-collect primitive
+/// for resumable kernel sessions. A session that records its map shape
+/// once at construction can then run the same work in one call or in
+/// several batches: each batch collects per-item shards and absorbs
+/// them in input order, and because this primitive records no golden
+/// counters of its own, the merged registry is bit-identical however
+/// the items were split across calls. The non-golden worker notes are
+/// still emitted per call (they are scheduling, not results).
+pub fn par_map_shards<T, R, F, L>(
+    items: Vec<T>,
+    threads: usize,
+    obs: &Registry,
+    trace: &TraceRecorder,
+    label: L,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Registry, &TraceRecorder) -> R + Sync,
+    L: Fn(usize) -> String,
+{
+    let n = items.len();
 
     let observed = |i: usize, item: T| {
         let shard = Registry::new();
@@ -625,6 +651,47 @@ mod tests {
                 assert_eq!(trace_1, trace_n, "trace diverged at {threads}");
             }
         }
+    }
+
+    #[test]
+    fn shard_map_split_across_calls_matches_one_traced_map() {
+        use rcs_obs::trace::ChannelKind;
+        let work = |x: u64, shard: &Registry, shard_trace: &TraceRecorder| {
+            shard.add("units", x);
+            shard_trace.record_named("series", ChannelKind::Scalar, x as f64, (x * 7) as f64);
+            x * 7
+        };
+        // Reference: one par_map_traced over all items.
+        let obs_a = Registry::new();
+        let trace_a = TraceRecorder::with_capacity(16);
+        let got_a = par_map_traced(
+            (0..24).collect::<Vec<u64>>(),
+            4,
+            &obs_a,
+            &trace_a,
+            |_| String::new(),
+            |_, x, shard, shard_trace| work(x, shard, shard_trace),
+        );
+        // Split run: map-shape counters recorded once up front, then the
+        // same items through par_map_shards in two batches.
+        let obs_b = Registry::new();
+        let trace_b = TraceRecorder::with_capacity(16);
+        obs_b.inc("parallel.maps");
+        obs_b.add("parallel.tasks", 24);
+        let mut got_b = Vec::new();
+        for batch in [(0u64..9).collect::<Vec<_>>(), (9..24).collect::<Vec<_>>()] {
+            got_b.extend(par_map_shards(
+                batch,
+                4,
+                &obs_b,
+                &trace_b,
+                |_| String::new(),
+                |_, x, shard, shard_trace| work(x, shard, shard_trace),
+            ));
+        }
+        assert_eq!(got_a, got_b);
+        assert_eq!(obs_a.snapshot(), obs_b.snapshot());
+        assert_eq!(trace_a.snapshot(), trace_b.snapshot());
     }
 
     #[test]

@@ -386,3 +386,87 @@ fn mixed_batches_are_bit_identical_at_every_thread_count() {
         }
     }
 }
+
+#[test]
+fn empty_batch_emits_a_clean_zero_counter_manifest() {
+    // A batch of zero requests is a legal call: the run is counted, the
+    // cache/coalescing tallies all land at an explicit zero, and no
+    // outcome or resilience channel appears at all — an empty batch is
+    // not an "incident" the event-driven channels should invent.
+    let obs = Registry::new();
+    let mut engine = QueryEngine::new(4);
+    let outcomes = engine.run_batch(&[], 4, &obs);
+    assert!(outcomes.is_empty());
+    assert!(engine.cache().is_empty());
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("query.batch.runs"), 1);
+    for zeroed in [
+        "query.requests",
+        "query.cache.hits",
+        "query.cache.misses",
+        "query.batch.coalesced",
+        "query.cache.evictions",
+    ] {
+        assert_eq!(snap.counter(zeroed), 0, "{zeroed}");
+        assert!(
+            snap.counters.iter().any(|(name, _)| name == zeroed),
+            "{zeroed} must be present (at zero), not missing, so manifest \
+             diffs across legs never see a channel appear"
+        );
+    }
+    for absent in [
+        "query.outcomes.ok",
+        "query.outcomes.degraded",
+        "query.outcomes.failed",
+        "resilience.degraded.served",
+        "resilience.degraded.unavailable",
+    ] {
+        assert!(
+            snap.counters.iter().all(|(name, _)| name != absent),
+            "{absent} is event-driven and must stay absent for an empty batch"
+        );
+    }
+}
+
+#[test]
+fn all_invalid_batch_fails_every_request_without_touching_the_cache() {
+    // Structurally invalid queries (buildable only by direct field
+    // mutation) must each fail fatally — contained per request, no
+    // retries burned, nothing cached, and the outcome tallies recorded.
+    let mut nan_util = q("family=skat trials=8");
+    nan_util.utilization = f64::NAN;
+    let mut zero_trials = q("family=skat util=0.5 trials=8");
+    zero_trials.trials = 0;
+    let queries = vec![nan_util, zero_trials];
+
+    let obs = Registry::new();
+    let mut engine = QueryEngine::new(4);
+    let outcomes = engine.run_batch(&queries, 2, &obs);
+    assert_eq!(outcomes.len(), 2);
+    for (i, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            QueryOutcome::Failed(e) => {
+                assert!(matches!(e, QueryError::InvalidDesign { .. }), "{e:?}");
+                assert!(!e.is_retryable(), "request {i}");
+            }
+            other => panic!("request {i} should fail fatally, got {other:?}"),
+        }
+    }
+    assert!(engine.cache().is_empty(), "failed verdicts must not cache");
+
+    let snap = obs.snapshot();
+    assert_eq!(snap.counter("query.requests"), 2);
+    assert_eq!(snap.counter("query.cache.misses"), 2);
+    assert_eq!(snap.counter("query.cache.hits"), 0);
+    assert_eq!(snap.counter("query.outcomes.failed"), 2);
+    assert_eq!(snap.counter("query.outcomes.ok"), 0);
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(name, _)| name == "query.outcomes.ok"),
+        "a batch with failures records the ok tally explicitly, even at zero"
+    );
+    assert_eq!(snap.counter("resilience.retry.attempts"), 0);
+    assert_eq!(snap.counter("resilience.degraded.unavailable"), 2);
+}

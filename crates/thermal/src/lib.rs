@@ -63,4 +63,4 @@ pub use network::{NodeId, ResistorId, SteadySolution, ThermalNetwork};
 pub use sink::{BarePlate, HeatSink, PinFinSink, PlateFinSink, SinkMaterial};
 pub use stack::ChipStack;
 pub use tim::{ThermalInterface, TimAging, TimMaterial};
-pub use transient::TransientTrace;
+pub use transient::{TransientSession, TransientTrace, TRANSIENT_SNAPSHOT_KIND};

@@ -1,10 +1,24 @@
 //! Transient integration of thermal networks with nodal capacitances.
+//!
+//! The integration loop itself lives on the `rcs-kernel` stepping
+//! kernel: [`TransientSession`] owns the integrator state, advances it
+//! one [`rcs_kernel::Clock`] tick at a time, and can be checkpointed to
+//! bytes and resumed with bitwise-identical results. The
+//! [`ThermalNetwork::solve_transient`] family is a thin
+//! run-to-completion wrapper over a session, so the public API (and
+//! every golden number it produces) is unchanged.
 
+use rcs_kernel::{Clock, SinkState, SnapReader, SnapWriter, SnapshotError};
+use rcs_numeric::ode::{rk4_step, Rk4Scratch};
+use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 use rcs_units::{Celsius, Seconds};
 
 use crate::error::ThermalError;
 use crate::network::{NodeId, NodeKind, ThermalNetwork};
+
+/// Snapshot kind tag for [`TransientSession`] checkpoints.
+pub const TRANSIENT_SNAPSHOT_KIND: &str = "thermal.transient";
 
 /// Time series produced by [`ThermalNetwork::solve_transient`]: node
 /// temperatures sampled after every integration step.
@@ -135,15 +149,24 @@ impl ThermalNetwork {
         max_step: Seconds,
         obs: &Registry,
     ) -> Result<TransientTrace, ThermalError> {
-        let initial_temps: Vec<Celsius> = self
-            .nodes
+        let initial_temps = self.uniform_initial(initial);
+        self.solve_transient_from_observed(&initial_temps, duration, max_step, obs)
+    }
+
+    /// The per-node initial state of a uniform cold start: boundary
+    /// nodes at their fixed temperatures, every internal node at
+    /// `initial`. This is the state [`ThermalNetwork::solve_transient`]
+    /// starts from; exposed so resumable callers (e.g. warm-up
+    /// sessions) can seed a [`TransientSession`] identically.
+    #[must_use]
+    pub fn uniform_initial(&self, initial: Celsius) -> Vec<Celsius> {
+        self.nodes
             .iter()
             .map(|n| match n.kind {
                 NodeKind::Boundary { temperature } => temperature,
                 NodeKind::Internal { .. } => initial,
             })
-            .collect();
-        self.solve_transient_from_observed(&initial_temps, duration, max_step, obs)
+            .collect()
     }
 
     /// Integrates the network from an explicit per-node initial state
@@ -182,26 +205,16 @@ impl ThermalNetwork {
         obs: &Registry,
     ) -> Result<TransientTrace, ThermalError> {
         obs.inc("thermal.transient.calls");
-        let result = self.transient_inner(initial, duration, max_step);
-        match &result {
-            Ok(trace) => {
-                obs.add("thermal.transient.steps", trace.len() as u64);
-                obs.record_histogram(
-                    "thermal.transient.nodes",
-                    &[2, 4, 8, 16, 64],
-                    self.nodes.len() as u64,
-                );
-                // work profile: RK4 samples, and samples × nodes (the
-                // figure the right-hand-side evaluation scales with)
-                obs.work("thermal.ode_steps", trace.len() as u64);
-                obs.work(
-                    "thermal.ode_node_steps",
-                    trace.len() as u64 * self.nodes.len() as u64,
-                );
+        match TransientSession::new(self, initial, duration, max_step) {
+            Ok(mut session) => {
+                while session.step(self) {}
+                Ok(session.finish_observed(self, obs))
             }
-            Err(_) => obs.inc("thermal.transient.errors"),
+            Err(e) => {
+                obs.inc("thermal.transient.errors");
+                Err(e)
+            }
         }
-        result
     }
 
     /// [`ThermalNetwork::solve_transient_observed`] plus trace
@@ -236,25 +249,25 @@ impl ThermalNetwork {
         }
         result
     }
+}
 
-    fn transient_inner(
-        &self,
-        initial: &[Celsius],
-        duration: Seconds,
-        max_step: Seconds,
-    ) -> Result<TransientTrace, ThermalError> {
-        if duration.seconds() < 0.0 || max_step.seconds() <= 0.0 {
-            return Err(ThermalError::NonPositiveParameter {
-                parameter: "duration/step",
-            });
-        }
-        if initial.len() != self.nodes.len() {
-            return Err(ThermalError::UnknownNode {
-                index: initial.len(),
-            });
-        }
+/// Derived integrator structure, rebuilt from the network on resume —
+/// pure functions of the [`ThermalNetwork`], so they are not part of
+/// the checkpointed state.
+#[derive(Debug)]
+struct TransientEnv {
+    /// Node indices of the internal (capacitive) nodes, in node order.
+    internal: Vec<usize>,
+    /// Heat capacitance per internal row, J/K.
+    capacitance: Vec<f64>,
+    /// node index → internal row.
+    index_of: std::collections::HashMap<usize, usize>,
+    scratch: Rk4Scratch,
+}
 
-        let internal: Vec<usize> = self
+impl TransientEnv {
+    fn build(net: &ThermalNetwork) -> Result<Self, ThermalError> {
+        let internal: Vec<usize> = net
             .nodes
             .iter()
             .enumerate()
@@ -263,7 +276,7 @@ impl ThermalNetwork {
             .collect();
         let mut capacitance = vec![0.0; internal.len()];
         for (row, &node) in internal.iter().enumerate() {
-            match self.nodes[node].kind {
+            match net.nodes[node].kind {
                 NodeKind::Internal {
                     capacitance_j_per_k: Some(c),
                 } if c > 0.0 => {
@@ -271,7 +284,7 @@ impl ThermalNetwork {
                 }
                 _ => {
                     return Err(ThermalError::MissingCapacitance {
-                        node: self.nodes[node].name.clone(),
+                        node: net.nodes[node].name.clone(),
                     })
                 }
             }
@@ -281,12 +294,70 @@ impl ThermalNetwork {
             .enumerate()
             .map(|(row, &node)| (node, row))
             .collect();
+        let scratch = Rk4Scratch::new(internal.len());
+        Ok(Self {
+            internal,
+            capacitance,
+            index_of,
+            scratch,
+        })
+    }
+}
 
-        let mut state: Vec<f64> = internal
+/// A resumable transient integration: the thermal network's RK4 loop
+/// hoisted onto the `rcs-kernel` stepping kernel.
+///
+/// The session owns everything the loop mutates — the internal-node
+/// state vector, the accumulated sample trace and the kernel
+/// [`Clock`] — while the network itself is passed into every call as
+/// the immutable environment. [`TransientSession::checkpoint`] seals
+/// the mutable state (plus the observability sinks) into versioned
+/// bytes; [`TransientSession::resume`] reconstructs a session that
+/// finishes **bitwise** identically to one that was never interrupted.
+#[derive(Debug)]
+pub struct TransientSession {
+    clock: Clock,
+    /// Internal-node temperatures, °C, in internal-row order.
+    state: Vec<f64>,
+    /// Per-node observation baseline: boundary temperatures for
+    /// boundary nodes, the initial temperature for internal ones
+    /// (overwritten by `state` in every sample).
+    boundary_temp: Vec<f64>,
+    times: Vec<Seconds>,
+    temperatures: Vec<Vec<Celsius>>,
+    env: TransientEnv,
+}
+
+impl TransientSession {
+    /// Validates the problem and records the initial sample, exactly as
+    /// the uninterrupted solver does before its first step.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ThermalNetwork::solve_transient_from`].
+    pub fn new(
+        net: &ThermalNetwork,
+        initial: &[Celsius],
+        duration: Seconds,
+        max_step: Seconds,
+    ) -> Result<Self, ThermalError> {
+        if duration.seconds() < 0.0 || max_step.seconds() <= 0.0 {
+            return Err(ThermalError::NonPositiveParameter {
+                parameter: "duration/step",
+            });
+        }
+        if initial.len() != net.nodes.len() {
+            return Err(ThermalError::UnknownNode {
+                index: initial.len(),
+            });
+        }
+        let env = TransientEnv::build(net)?;
+        let state: Vec<f64> = env
+            .internal
             .iter()
             .map(|&node| initial[node].degrees())
             .collect();
-        let boundary_temp: Vec<f64> = self
+        let boundary_temp: Vec<f64> = net
             .nodes
             .iter()
             .enumerate()
@@ -296,14 +367,62 @@ impl ThermalNetwork {
             })
             .collect();
 
-        let mut times = Vec::new();
-        let mut temperatures: Vec<Vec<Celsius>> = Vec::new();
+        // The legacy step-count arithmetic, preserved bitwise: a zero
+        // span observes the initial state once and schedules nothing.
+        let span = duration.seconds();
+        let clock = if span == 0.0 {
+            Clock::counted(0)
+        } else {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let steps = (span / max_step.seconds()).ceil().max(1.0) as u64;
+            #[allow(clippy::cast_precision_loss)]
+            let dt = span / steps as f64;
+            Clock::uniform(0.0, dt, steps)
+        };
 
-        let derivative = |_t: f64, y: &[f64], dy: &mut [f64]| {
+        let mut session = Self {
+            clock,
+            state,
+            boundary_temp,
+            times: Vec::new(),
+            temperatures: Vec::new(),
+            env,
+        };
+        session.observe(0.0);
+        Ok(session)
+    }
+
+    fn observe(&mut self, t: f64) {
+        self.times.push(Seconds::new(t));
+        let mut sample: Vec<Celsius> = self
+            .boundary_temp
+            .iter()
+            .map(|&b| Celsius::new(b))
+            .collect();
+        for (row, &node) in self.env.internal.iter().enumerate() {
+            sample[node] = Celsius::new(self.state[row]);
+        }
+        self.temperatures.push(sample);
+    }
+
+    /// Advances one RK4 step. Returns `false` once the horizon is
+    /// reached (the call is then a no-op).
+    pub fn step(&mut self, net: &ThermalNetwork) -> bool {
+        let Some(tick) = self.clock.tick() else {
+            return false;
+        };
+        let TransientEnv {
+            internal,
+            capacitance,
+            index_of,
+            scratch,
+        } = &mut self.env;
+        let boundary_temp = &self.boundary_temp;
+        let mut derivative = |_t: f64, y: &[f64], dy: &mut [f64]| {
             for (row, &node) in internal.iter().enumerate() {
-                dy[row] = self.nodes[node].heat.watts();
+                dy[row] = net.nodes[node].heat.watts();
             }
-            for r in &self.resistors {
+            for r in &net.resistors {
                 let g = 1.0 / r.resistance.kelvin_per_watt();
                 let ta = index_of
                     .get(&r.a.0)
@@ -323,27 +442,148 @@ impl ThermalNetwork {
                 dy[row] /= c;
             }
         };
+        rk4_step(&mut self.state, tick.t, tick.dt, &mut derivative, scratch);
+        let t_after = self.clock.now();
+        self.observe(t_after);
+        true
+    }
 
-        rcs_numeric::ode::rk4(
-            &mut state,
-            0.0,
-            duration.seconds(),
-            max_step.seconds(),
-            derivative,
-            |t, y| {
-                times.push(Seconds::new(t));
-                let mut sample: Vec<Celsius> =
-                    boundary_temp.iter().map(|&b| Celsius::new(b)).collect();
-                for (row, &node) in internal.iter().enumerate() {
-                    sample[node] = Celsius::new(y[row]);
-                }
-                temperatures.push(sample);
-            },
+    /// Advances at most `max_steps` steps; returns how many ran.
+    pub fn run(&mut self, net: &ThermalNetwork, max_steps: u64) -> u64 {
+        let mut taken = 0;
+        while taken < max_steps && self.step(net) {
+            taken += 1;
+        }
+        taken
+    }
+
+    /// `true` once the horizon is reached.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.clock.is_finished()
+    }
+
+    /// Samples produced so far (initial state included).
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Consumes the session, yielding the trace accumulated so far.
+    #[must_use]
+    pub fn into_trace(self) -> TransientTrace {
+        TransientTrace {
+            times: self.times,
+            temperatures: self.temperatures,
+        }
+    }
+
+    /// [`TransientSession::into_trace`] plus the end-of-run golden
+    /// accounting the uninterrupted solver records on success:
+    /// `thermal.transient.steps`, the `thermal.transient.nodes`
+    /// histogram and the `thermal.ode_steps` / `thermal.ode_node_steps`
+    /// work profile.
+    #[must_use]
+    pub fn finish_observed(self, net: &ThermalNetwork, obs: &Registry) -> TransientTrace {
+        let trace = self.into_trace();
+        obs.add("thermal.transient.steps", trace.len() as u64);
+        obs.record_histogram(
+            "thermal.transient.nodes",
+            &[2, 4, 8, 16, 64],
+            net.nodes.len() as u64,
         );
+        // work profile: RK4 samples, and samples × nodes (the figure
+        // the right-hand-side evaluation scales with)
+        obs.work("thermal.ode_steps", trace.len() as u64);
+        obs.work(
+            "thermal.ode_node_steps",
+            trace.len() as u64 * net.nodes.len() as u64,
+        );
+        trace
+    }
 
-        Ok(TransientTrace {
+    /// Seals the session — clock, state vector, accumulated samples —
+    /// plus the current contents of `obs` and `trace` into versioned
+    /// snapshot bytes.
+    #[must_use]
+    pub fn checkpoint(&self, obs: &Registry, trace: &TraceRecorder) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.clock.write_into(&mut w);
+        w.f64_slice(&self.state);
+        w.f64_slice(&self.boundary_temp);
+        w.count(self.times.len());
+        for t in &self.times {
+            w.f64(t.seconds());
+        }
+        for sample in &self.temperatures {
+            for c in sample {
+                w.f64(c.degrees());
+            }
+        }
+        SinkState::capture(obs, trace).write_into(&mut w);
+        rcs_kernel::seal(TRANSIENT_SNAPSHOT_KIND, &w.into_bytes())
+    }
+
+    /// Reconstructs a session from [`TransientSession::checkpoint`]
+    /// bytes, restoring the captured telemetry into the (fresh) `obs`
+    /// and `trace` sinks. The resumed session finishes bitwise
+    /// identically to the uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on corrupted or truncated bytes, a snapshot of
+    /// a different kind, or a snapshot inconsistent with `net` (node
+    /// counts must match).
+    pub fn resume(
+        net: &ThermalNetwork,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        let payload = rcs_kernel::open(TRANSIENT_SNAPSHOT_KIND, bytes)?;
+        let mut r = SnapReader::new(payload);
+        let clock = Clock::read_from(&mut r)?;
+        let state = r.f64_vec()?;
+        let boundary_temp = r.f64_vec()?;
+        let n_samples = r.count()?;
+        let mut times = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            times.push(Seconds::new(r.f64()?));
+        }
+        let mut temperatures = Vec::with_capacity(n_samples);
+        for _ in 0..n_samples {
+            let mut sample = Vec::with_capacity(boundary_temp.len());
+            for _ in 0..boundary_temp.len() {
+                sample.push(Celsius::new(r.f64()?));
+            }
+            temperatures.push(sample);
+        }
+        let sinks = SinkState::read_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Malformed(
+                "trailing bytes after transient session state".to_owned(),
+            ));
+        }
+        let env = TransientEnv::build(net)
+            .map_err(|e| SnapshotError::Malformed(format!("network rejected on resume: {e}")))?;
+        if state.len() != env.internal.len() || boundary_temp.len() != net.nodes.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot is for a different network: {} internal / {} total nodes in snapshot, \
+                 {} / {} in the network",
+                state.len(),
+                boundary_temp.len(),
+                env.internal.len(),
+                net.nodes.len()
+            )));
+        }
+        sinks.restore(obs, trace)?;
+        Ok(Self {
+            clock,
+            state,
+            boundary_temp,
             times,
             temperatures,
+            env,
         })
     }
 }
@@ -487,6 +727,91 @@ mod tests {
             snap.histogram("thermal.transient.nodes").unwrap().total(),
             1
         );
+    }
+
+    #[test]
+    fn session_checkpoint_resume_is_bitwise_identical() {
+        let mut net = ThermalNetwork::new();
+        let a = net.add_node_with_capacitance("a", 10.0);
+        let b = net.add_node_with_capacitance("b", 20.0);
+        let amb = net.add_boundary("amb", Celsius::new(25.0));
+        net.connect(a, b, ThermalResistance::from_kelvin_per_watt(0.4))
+            .unwrap();
+        net.connect(b, amb, ThermalResistance::from_kelvin_per_watt(0.6))
+            .unwrap();
+        net.add_heat(a, Power::from_watts(30.0)).unwrap();
+
+        let initial: Vec<Celsius> = vec![Celsius::new(25.0); net.node_count()];
+        let straight = net
+            .solve_transient_from(&initial, Seconds::new(40.0), Seconds::new(0.1))
+            .unwrap();
+
+        for k in [0u64, 1, 7, 399, 400] {
+            let obs = Registry::new();
+            let trace = rcs_obs::trace::TraceRecorder::new();
+            let mut front =
+                TransientSession::new(&net, &initial, Seconds::new(40.0), Seconds::new(0.1))
+                    .unwrap();
+            front.run(&net, k);
+            let bytes = front.checkpoint(&obs, &trace);
+
+            let obs2 = Registry::new();
+            let trace2 = rcs_obs::trace::TraceRecorder::new();
+            let mut back = TransientSession::resume(&net, &bytes, &obs2, &trace2).unwrap();
+            while back.step(&net) {}
+            let resumed = back.into_trace();
+
+            assert_eq!(resumed.len(), straight.len(), "split at {k}");
+            for i in 0..straight.len() {
+                assert_eq!(
+                    resumed.times[i].seconds().to_bits(),
+                    straight.times[i].seconds().to_bits(),
+                    "time {i}, split {k}"
+                );
+                for node in 0..net.node_count() {
+                    assert_eq!(
+                        resumed.temperatures[i][node].degrees().to_bits(),
+                        straight.temperatures[i][node].degrees().to_bits(),
+                        "sample {i} node {node}, split {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_session_bytes_are_a_structured_error() {
+        let mut net = ThermalNetwork::new();
+        let j = net.add_node_with_capacitance("j", 50.0);
+        let amb = net.add_boundary("amb", Celsius::new(0.0));
+        net.connect(j, amb, ThermalResistance::from_kelvin_per_watt(0.5))
+            .unwrap();
+        net.add_heat(j, Power::from_watts(100.0)).unwrap();
+        let initial = vec![Celsius::new(0.0); net.node_count()];
+        let session =
+            TransientSession::new(&net, &initial, Seconds::new(5.0), Seconds::new(0.1)).unwrap();
+        let obs = Registry::new();
+        let trace = rcs_obs::trace::TraceRecorder::new();
+        let bytes = session.checkpoint(&obs, &trace);
+
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(TransientSession::resume(&net, &corrupt, &obs, &trace).is_err());
+        assert!(TransientSession::resume(&net, &bytes[..bytes.len() - 9], &obs, &trace).is_err());
+
+        // A valid snapshot against the wrong network is rejected too.
+        let mut other = ThermalNetwork::new();
+        let x = other.add_node_with_capacitance("x", 1.0);
+        let y = other.add_node_with_capacitance("y", 1.0);
+        let oamb = other.add_boundary("amb", Celsius::new(0.0));
+        other
+            .connect(x, y, ThermalResistance::from_kelvin_per_watt(1.0))
+            .unwrap();
+        other
+            .connect(y, oamb, ThermalResistance::from_kelvin_per_watt(1.0))
+            .unwrap();
+        assert!(TransientSession::resume(&other, &bytes, &obs, &trace).is_err());
     }
 
     #[test]

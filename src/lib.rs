@@ -28,6 +28,7 @@
 //! | [`platform`] | `rcs-platform` | boards, modules, racks, presets |
 //! | [`cooling`] | `rcs-cooling` | cooling architectures, control, risk |
 //! | [`taskgraph`] | `rcs-taskgraph` | information graphs → FPGA field mapping |
+//! | [`kernel`] | `rcs-kernel` | deterministic stepping kernel with checkpoint/restore |
 //! | [`core`] | `rcs-core` | the coupled simulator and experiment harness |
 //! | [`query`] | `rcs-query` | design-query service: cached, resilient batch answers |
 //! | [`chaos`] | `rcs-chaos` | deterministic fault injection & the E19 chaos drill |
@@ -53,6 +54,7 @@ pub use rcs_core as core;
 pub use rcs_devices as devices;
 pub use rcs_fluids as fluids;
 pub use rcs_hydraulics as hydraulics;
+pub use rcs_kernel as kernel;
 pub use rcs_numeric as numeric;
 pub use rcs_obs as obs;
 pub use rcs_parallel as parallel;
