@@ -2,7 +2,7 @@
 //! against the committed baselines in `goldens/`.
 //!
 //! ```text
-//! bench_trend <baseline_dir> <fresh_dir> [suite ...]
+//! bench_trend [--emit-history <dir>] <baseline_dir> <fresh_dir> [suite ...]
 //! ```
 //!
 //! For every suite (default: `solvers`, `experiments`, `parallel`) the
@@ -23,6 +23,13 @@
 //! `RCS_BENCH_TOLERANCE`. Wall-clock numbers are a *trend* signal; the
 //! bit-exact `profile.*` work counters in the golden manifests are the
 //! precise regression gate.
+//!
+//! `--emit-history <dir>` appends one NDJSON line per suite to
+//! `<dir>/<suite>.ndjson` after the comparison: the fresh medians, the
+//! baseline medians, the ratio verdicts and a Unix timestamp. CI
+//! uploads the directory as an artifact, so the per-run lines
+//! accumulate into a queryable latency history without ever entering
+//! the golden channel.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -105,10 +112,85 @@ fn check_suite(baseline_dir: &str, fresh_dir: &str, suite: &str, tol: f64) -> Re
     Ok(failures)
 }
 
+/// Escapes a string for embedding in a JSON line (names are benchmark
+/// identifiers, but a history file must never be corrupted by one).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one NDJSON history line for `suite` to
+/// `<dir>/<suite>.ndjson`: fresh and baseline medians side by side plus
+/// the run verdict, stamped with Unix seconds.
+fn emit_history(
+    dir: &str,
+    suite: &str,
+    baseline: &[Entry],
+    fresh: &[Entry],
+    tol: f64,
+    failures: u32,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let benches: Vec<String> = fresh
+        .iter()
+        .map(|f| {
+            let base = baseline
+                .iter()
+                .find(|b| b.name == f.name)
+                .map_or_else(|| "null".to_owned(), |b| format!("{}", b.median_ns));
+            format!(
+                "{{\"name\":\"{}\",\"median_ns\":{},\"baseline_ns\":{base}}}",
+                escape(&f.name),
+                f.median_ns
+            )
+        })
+        .collect();
+    let line = format!(
+        "{{\"type\":\"bench_history\",\"suite\":\"{}\",\"unix_ts\":{ts},\"tolerance\":{tol},\
+         \"failures\":{failures},\"benchmarks\":[{}]}}\n",
+        escape(suite),
+        benches.join(",")
+    );
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let path = Path::new(dir).join(format!("{suite}.ndjson"));
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 2 {
-        eprintln!("usage: bench_trend <baseline_dir> <fresh_dir> [suite ...]");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut history_dir: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--emit-history") {
+        if i + 1 >= args.len() {
+            eprintln!("--emit-history needs a directory");
+            return ExitCode::from(2);
+        }
+        history_dir = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    if args.len() < 2 || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!(
+            "usage: bench_trend [--emit-history <dir>] <baseline_dir> <fresh_dir> [suite ...]"
+        );
         return ExitCode::from(2);
     }
     let (baseline_dir, fresh_dir) = (&args[0], &args[1]);
@@ -131,7 +213,19 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     for suite in suites {
         match check_suite(baseline_dir, fresh_dir, suite, tol) {
-            Ok(n) => failures += n,
+            Ok(n) => {
+                failures += n;
+                if let Some(dir) = &history_dir {
+                    let emitted = load_suite(baseline_dir, suite).and_then(|baseline| {
+                        let fresh = load_suite(fresh_dir, suite)?;
+                        emit_history(dir, suite, &baseline, &fresh, tol, n)
+                    });
+                    if let Err(e) = emitted {
+                        eprintln!("error: history for {suite}: {e}");
+                        failures += 1;
+                    }
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 failures += 1;

@@ -402,6 +402,19 @@ impl McSession {
     /// versioned snapshot bytes.
     #[must_use]
     pub fn checkpoint(&self, obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<u8> {
+        self.checkpoint_spanned(obs, trace, rcs_obs::span::SpanSink::disabled())
+    }
+
+    /// [`McSession::checkpoint`] that additionally seals the span
+    /// sink's state — open stack included — so a span bracketing this
+    /// study survives the checkpoint.
+    #[must_use]
+    pub fn checkpoint_spanned(
+        &self,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
+    ) -> Vec<u8> {
         let mut w = SnapWriter::new();
         w.f64(self.horizon_years);
         w.u64(self.trials as u64);
@@ -411,7 +424,7 @@ impl McSession {
         w.f64_slice(&self.availabilities);
         w.u64(self.total_events);
         w.u64(self.total_losses);
-        SinkState::capture(obs, trace).write_into(&mut w);
+        SinkState::capture_spanned(obs, trace, spans).write_into(&mut w);
         rcs_kernel::seal(MC_SNAPSHOT_KIND, &w.into_bytes())
     }
 
@@ -429,6 +442,28 @@ impl McSession {
         threads: usize,
         obs: &Registry,
         trace: &rcs_obs::trace::TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        Self::resume_spanned(
+            bytes,
+            threads,
+            obs,
+            trace,
+            rcs_obs::span::SpanSink::disabled(),
+        )
+    }
+
+    /// [`McSession::resume`] that additionally restores the sealed
+    /// span tree — open stack included — into `spans`.
+    ///
+    /// # Errors
+    ///
+    /// See [`McSession::resume`].
+    pub fn resume_spanned(
+        bytes: &[u8],
+        threads: usize,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
     ) -> Result<Self, SnapshotError> {
         let payload = rcs_kernel::open(MC_SNAPSHOT_KIND, bytes)?;
         let mut r = SnapReader::new(payload);
@@ -454,7 +489,7 @@ impl McSession {
                 "invalid study parameters: {trials} trials over {horizon_years} years"
             )));
         }
-        sinks.restore(obs, trace)?;
+        sinks.restore_spanned(obs, trace, spans)?;
         Ok(Self {
             horizon_years,
             trials,

@@ -2,17 +2,21 @@
 //! and emits one NDJSON run manifest for the whole sweep
 //! (`RCS_OBS_MANIFEST` file, else stderr) plus, when `RCS_OBS_TRACE`
 //! names a file, the deterministic trace channels of the instrumented
-//! experiments. The golden `counter`, `histogram`, `fhistogram` and
-//! `trace` lines are bit-identical at every `RCS_THREADS` setting — the
-//! CI `obs_report diff` job holds us to that.
+//! experiments, and, when `RCS_OBS_SPANS` names a file, the golden
+//! span tree of the sweep. The golden `counter`, `histogram`,
+//! `fhistogram`, `trace` and `span` lines are bit-identical at every
+//! `RCS_THREADS` setting — the CI `obs_report diff` and
+//! `span-attribution` jobs hold us to that.
 
-use rcs_core::experiments::{self, run_all_traced};
+use rcs_core::experiments::{self, run_all_spanned};
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 
 fn main() {
     let obs = Registry::new();
     let trace = TraceRecorder::from_env();
-    let tables = run_all_traced(&obs, &trace);
-    experiments::finish_run_traced("exp_all", None, &tables, &obs, &trace);
+    let spans = SpanSink::from_env();
+    let tables = run_all_spanned(&obs, &trace, &spans);
+    experiments::finish_run_spanned("exp_all", None, &tables, &obs, &trace, &spans);
 }

@@ -3,15 +3,19 @@
 //! Runs the four checkpointable kernel loops — a thermal transient, the
 //! SKAT immersion warm-up, a pump-seizure fault drill and an
 //! availability Monte-Carlo study — and emits one NDJSON manifest
-//! (`RCS_OBS_MANIFEST`, plus traces when `RCS_OBS_TRACE` is set) and a
-//! summary table on stdout.
+//! (`RCS_OBS_MANIFEST`, plus traces when `RCS_OBS_TRACE` is set and the
+//! golden span tree when `RCS_OBS_SPANS` is set) and a summary table on
+//! stdout.
 //!
 //! With `--split`, every loop is interrupted at a mid-run checkpoint:
 //! its state is sealed to snapshot bytes, the live sinks are **thrown
 //! away**, and the loop resumes from the bytes into fresh ones. The
-//! resume-equivalence contract says the manifest, the traces and the
-//! stdout table must come out byte-identical to the straight-through
-//! run — at every `RCS_THREADS` setting. CI diffs both.
+//! resume-equivalence contract says the manifest, the traces, the span
+//! tree and the stdout table must come out byte-identical to the
+//! straight-through run — at every `RCS_THREADS` setting. CI diffs all
+//! of them. Each loop runs inside an open span when it checkpoints, so
+//! the split exercises the open-span-stack seal/restore path of
+//! `SinkState` too.
 
 use rcs_cooling::availability::McSession;
 use rcs_cooling::faults::{FaultKind, FaultTimeline};
@@ -19,6 +23,7 @@ use rcs_cooling::{risk, CoolingArchitecture, ImmersionBath};
 use rcs_core::experiments::{self, Table};
 use rcs_core::{DrillSession, FaultDrill, ImmersionModel, WarmupSession};
 use rcs_numeric::rng::Rng;
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 use rcs_thermal::{ThermalNetwork, TransientSession};
@@ -29,11 +34,12 @@ const SEED: u64 = 20260808;
 
 /// The sinks of the run. In split mode each loop's checkpoint swaps
 /// them wholesale for fresh ones — restoring must then reproduce
-/// everything recorded so far, by *any* loop, or the final manifest
-/// diff fails.
+/// everything recorded so far, by *any* loop (including the open span
+/// stack), or the final manifest diff fails.
 struct Sinks {
     obs: Registry,
     trace: TraceRecorder,
+    spans: SpanSink,
 }
 
 impl Sinks {
@@ -41,6 +47,7 @@ impl Sinks {
         Self {
             obs: Registry::new(),
             trace: TraceRecorder::from_env(),
+            spans: SpanSink::from_env(),
         }
     }
 }
@@ -64,15 +71,18 @@ fn run(split: bool) -> (Vec<Table>, Sinks) {
     let mut session =
         TransientSession::new(&net, &initial, Seconds::new(120.0), Seconds::new(0.25))
             .expect("valid transient problem");
+    sinks.spans.enter("thermal.transient", &sinks.obs);
     if split {
         session.run(&net, 240);
-        let bytes = session.checkpoint(&sinks.obs, &sinks.trace);
+        let bytes = session.checkpoint_spanned(&sinks.obs, &sinks.trace, &sinks.spans);
         sinks = Sinks::fresh();
-        session = TransientSession::resume(&net, &bytes, &sinks.obs, &sinks.trace)
-            .expect("transient snapshot reopens");
+        session =
+            TransientSession::resume_spanned(&net, &bytes, &sinks.obs, &sinks.trace, &sinks.spans)
+                .expect("transient snapshot reopens");
     }
     session.run(&net, u64::MAX);
     let transient = session.finish_observed(&net, &sinks.obs);
+    sinks.spans.exit(&sinks.obs);
     rows.push(vec![
         "transient chip °C".to_owned(),
         format!("{:.6}", transient.final_temperature(chip).degrees()),
@@ -87,15 +97,18 @@ fn run(split: bool) -> (Vec<Table>, Sinks) {
         &sinks.obs,
     )
     .expect("SKAT warms up");
+    sinks.spans.enter("immersion.warmup", &sinks.obs);
     if split {
         warmup.run(150);
-        let bytes = warmup.checkpoint(&sinks.obs, &sinks.trace);
+        let bytes = warmup.checkpoint_spanned(&sinks.obs, &sinks.trace, &sinks.spans);
         sinks = Sinks::fresh();
-        warmup = WarmupSession::resume(&model, &bytes, &sinks.obs, &sinks.trace)
-            .expect("warmup snapshot reopens");
+        warmup =
+            WarmupSession::resume_spanned(&model, &bytes, &sinks.obs, &sinks.trace, &sinks.spans)
+                .expect("warmup snapshot reopens");
     }
     warmup.run(u64::MAX);
     let warm = warmup.finish(&sinks.obs, &sinks.trace);
+    sinks.spans.exit(&sinks.obs);
     rows.push(vec![
         "warmup chip °C".to_owned(),
         format!("{:.6}", warm.final_chip_temperature().degrees()),
@@ -105,25 +118,29 @@ fn run(split: bool) -> (Vec<Table>, Sinks) {
     let timeline =
         FaultTimeline::new().with_event(Seconds::minutes(2.0), FaultKind::PumpSeizure { pump: 0 });
     let drill = FaultDrill::skat("kernel_resume", timeline, Seconds::minutes(20.0));
-    let mut drill_session = DrillSession::new(
+    sinks.spans.enter("drill.session", &sinks.obs);
+    let mut drill_session = DrillSession::new_spanned(
         &drill,
         Rng::seed_from_u64(SEED),
         true,
         &sinks.obs,
         &sinks.trace,
+        &sinks.spans,
     )
     .expect("baseline solves");
     if split {
         // Scan 90 is one minute after the seizure: filters, alarm votes
         // and the partial outcome are all live in the snapshot.
         drill_session.run(&drill, &sinks.obs, &sinks.trace, 90);
-        let bytes = drill_session.checkpoint(&sinks.obs, &sinks.trace);
+        let bytes = drill_session.checkpoint_spanned(&sinks.obs, &sinks.trace, &sinks.spans);
         sinks = Sinks::fresh();
-        drill_session = DrillSession::resume(&drill, &bytes, &sinks.obs, &sinks.trace)
-            .expect("drill snapshot reopens");
+        drill_session =
+            DrillSession::resume_spanned(&drill, &bytes, &sinks.obs, &sinks.trace, &sinks.spans)
+                .expect("drill snapshot reopens");
     }
     drill_session.run(&drill, &sinks.obs, &sinks.trace, u64::MAX);
     let (outcome, _rng) = drill_session.finish(&sinks.obs);
+    sinks.spans.exit(&sinks.obs);
     rows.push(vec![
         "drill peak junction °C".to_owned(),
         format!("{:.6}", outcome.peak_junction.degrees()),
@@ -139,15 +156,17 @@ fn run(split: bool) -> (Vec<Table>, Sinks) {
     ));
     let threads = rcs_parallel::thread_count();
     let mut mc = McSession::new(3.0, 512, SEED, threads, &sinks.obs);
+    sinks.spans.enter("mc.availability", &sinks.obs);
     if split {
         mc.advance(&classes, &sinks.obs, &sinks.trace, 4);
-        let bytes = mc.checkpoint(&sinks.obs, &sinks.trace);
+        let bytes = mc.checkpoint_spanned(&sinks.obs, &sinks.trace, &sinks.spans);
         sinks = Sinks::fresh();
-        mc = McSession::resume(&bytes, threads, &sinks.obs, &sinks.trace)
+        mc = McSession::resume_spanned(&bytes, threads, &sinks.obs, &sinks.trace, &sinks.spans)
             .expect("mc snapshot reopens");
     }
     while mc.advance(&classes, &sinks.obs, &sinks.trace, u64::MAX) > 0 {}
     let report = mc.finish();
+    sinks.spans.exit(&sinks.obs);
     rows.push(vec![
         "mc mean availability".to_owned(),
         format!("{:.9}", report.mean_availability),
@@ -166,11 +185,12 @@ fn run(split: bool) -> (Vec<Table>, Sinks) {
 fn main() {
     let split = std::env::args().any(|a| a == "--split");
     let (tables, sinks) = run(split);
-    experiments::finish_run_traced(
+    experiments::finish_run_spanned(
         "kernel_resume",
         Some(SEED),
         &tables,
         &sinks.obs,
         &sinks.trace,
+        &sinks.spans,
     );
 }

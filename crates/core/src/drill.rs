@@ -28,6 +28,7 @@ use rcs_cooling::ImmersionBath;
 use rcs_devices::OperatingPoint;
 use rcs_kernel::{Clock, SinkState, SnapReader, SnapWriter, SnapshotError};
 use rcs_numeric::rng::Rng;
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 use rcs_platform::ComputeModule;
@@ -401,6 +402,22 @@ impl FaultDrill {
         self.simulate(rng, true, obs, trace)
     }
 
+    /// [`FaultDrill::run_traced`] plus span attribution: the baseline
+    /// solve's `immersion.ladder` / `rung` spans land on `spans`
+    /// (callers typically bracket the whole drill in a cell span).
+    /// Telemetry on `obs` and `trace` is byte-identical to the traced
+    /// variant.
+    #[must_use]
+    pub fn run_spanned(
+        &self,
+        rng: &mut Rng,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
+    ) -> DrillOutcome {
+        self.simulate_spanned(rng, true, obs, trace, spans)
+    }
+
     /// Runs the same physics with the supervisor disconnected (no
     /// throttling, no shutdown) — the ground-truth trajectory used to
     /// check that supervised shutdowns land before hardware violations.
@@ -428,7 +445,25 @@ impl FaultDrill {
         obs: &Registry,
         trace: &TraceRecorder,
     ) -> DrillOutcome {
-        match DrillSession::new(self, Rng::from_state(rng.state()), supervised, obs, trace) {
+        self.simulate_spanned(rng, supervised, obs, trace, SpanSink::disabled())
+    }
+
+    fn simulate_spanned(
+        &self,
+        rng: &mut Rng,
+        supervised: bool,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> DrillOutcome {
+        match DrillSession::new_spanned(
+            self,
+            Rng::from_state(rng.state()),
+            supervised,
+            obs,
+            trace,
+            spans,
+        ) {
             Ok(mut session) => {
                 while session.step(self, obs, trace) {}
                 let (outcome, final_rng) = session.finish(obs);
@@ -619,6 +654,26 @@ impl DrillSession {
         obs: &Registry,
         trace: &TraceRecorder,
     ) -> Result<Self, Box<DrillOutcome>> {
+        Self::new_spanned(drill, rng, supervised, obs, trace, SpanSink::disabled())
+    }
+
+    /// [`DrillSession::new`] plus span attribution: the baseline
+    /// steady solve runs through the spanned immersion ladder, so its
+    /// `immersion.ladder` / `rung` spans land on `spans`. Telemetry on
+    /// `obs` and `trace` is byte-identical to [`DrillSession::new`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DrillSession::new`].
+    #[allow(clippy::result_large_err)]
+    pub fn new_spanned(
+        drill: &FaultDrill,
+        rng: Rng,
+        supervised: bool,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> Result<Self, Box<DrillOutcome>> {
         use rcs_obs::trace::ChannelKind;
         obs.inc("drill.runs");
         // Open the per-scan channels before the baseline solve so the
@@ -649,7 +704,7 @@ impl DrillSession {
         // reference resistance.
         let baseline = match ImmersionModel::new(drill.module.clone(), drill.bath.clone())
             .with_operating_point(OperatingPoint::at_utilization(drill.demand_utilization))
-            .solve_robust_traced(obs, trace)
+            .solve_robust_spanned(obs, trace, spans)
         {
             Ok(r) => r,
             Err(e) => {
@@ -898,6 +953,19 @@ impl DrillSession {
     /// versioned snapshot bytes.
     #[must_use]
     pub fn checkpoint(&self, obs: &Registry, trace: &TraceRecorder) -> Vec<u8> {
+        self.checkpoint_spanned(obs, trace, SpanSink::disabled())
+    }
+
+    /// [`DrillSession::checkpoint`] that additionally seals the span
+    /// sink's state — open stack included — so a span bracketing this
+    /// drill survives the checkpoint.
+    #[must_use]
+    pub fn checkpoint_spanned(
+        &self,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> Vec<u8> {
         let mut w = SnapWriter::new();
         self.clock.write_into(&mut w);
         w.u64_slice(&self.rng.state());
@@ -970,7 +1038,7 @@ impl DrillSession {
             None => w.bool(false),
         }
         w.u64(self.outcome.steps as u64);
-        SinkState::capture(obs, trace).write_into(&mut w);
+        SinkState::capture_spanned(obs, trace, spans).write_into(&mut w);
         rcs_kernel::seal(DRILL_SNAPSHOT_KIND, &w.into_bytes())
     }
 
@@ -990,6 +1058,22 @@ impl DrillSession {
         bytes: &[u8],
         obs: &Registry,
         trace: &TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        Self::resume_spanned(drill, bytes, obs, trace, SpanSink::disabled())
+    }
+
+    /// [`DrillSession::resume`] that additionally restores the sealed
+    /// span tree — open stack included — into `spans`.
+    ///
+    /// # Errors
+    ///
+    /// See [`DrillSession::resume`].
+    pub fn resume_spanned(
+        drill: &FaultDrill,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
     ) -> Result<Self, SnapshotError> {
         let payload = rcs_kernel::open(DRILL_SNAPSHOT_KIND, bytes)?;
         let mut r = SnapReader::new(payload);
@@ -1077,7 +1161,7 @@ impl DrillSession {
                 "trailing bytes after drill session state".to_owned(),
             ));
         }
-        sinks.restore(obs, trace)?;
+        sinks.restore_spanned(obs, trace, spans)?;
         let to_usize = |v: u64, what: &str| {
             usize::try_from(v)
                 .map_err(|_| SnapshotError::Malformed(format!("{what} {v} overflows usize")))

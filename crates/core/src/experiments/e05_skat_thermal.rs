@@ -32,8 +32,23 @@ pub fn run_observed(obs: &Registry) -> Vec<Table> {
 /// `trace` (decimated deterministically to the recorder capacity).
 #[must_use]
 pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<Table> {
+    run_spanned(obs, trace, rcs_obs::span::SpanSink::disabled())
+}
+
+/// [`run_traced`] plus span attribution: the steady solve runs inside
+/// an `immersion.solve` span and the Fig. 2 warm-up inside an
+/// `immersion.warmup` span. Telemetry on `obs` and `trace` is
+/// byte-identical to [`run_traced`].
+#[must_use]
+pub fn run_spanned(
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+    spans: &rcs_obs::span::SpanSink,
+) -> Vec<Table> {
     let model = ImmersionModel::skat();
+    spans.enter("immersion.solve", obs);
     let report = model.solve_observed(obs).expect("SKAT converges");
+    spans.exit(obs);
 
     let steady = Table::new(
         "E5 — SKAT immersion heat test, paper vs model",
@@ -88,9 +103,11 @@ pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<
             .collect(),
     );
 
+    spans.enter("immersion.warmup", obs);
     let warmup = model
         .warmup_traced(Seconds::hours(2.0), Seconds::new(2.0), obs, trace)
         .expect("warm-up integrates");
+    spans.exit(obs);
     let chip = warmup.chip_series();
     let bath = warmup.bath_series();
     let samples = [0.0, 60.0, 180.0, 420.0, 900.0, 1800.0, 3600.0, 7200.0];

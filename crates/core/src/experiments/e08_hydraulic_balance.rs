@@ -217,6 +217,22 @@ pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<
     vec![distribution, failure]
 }
 
+/// [`run_traced`] plus span attribution: the full measurement pass
+/// (three layout solves plus the failure injection) runs inside a
+/// single `hydraulics.balance` span. Telemetry on `obs` and `trace` is
+/// byte-identical to [`run_traced`].
+#[must_use]
+pub fn run_spanned(
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+    spans: &rcs_obs::span::SpanSink,
+) -> Vec<Table> {
+    spans.enter("hydraulics.balance", obs);
+    let tables = run_traced(obs, trace);
+    spans.exit(obs);
+    tables
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

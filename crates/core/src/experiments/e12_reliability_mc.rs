@@ -176,6 +176,21 @@ pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<
     vec![table]
 }
 
+/// [`run_traced`] plus span attribution: the architecture sweep runs
+/// inside a single `reliability.sweep` span. Telemetry on `obs` and
+/// `trace` is byte-identical to [`run_traced`].
+#[must_use]
+pub fn run_spanned(
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+    spans: &rcs_obs::span::SpanSink,
+) -> Vec<Table> {
+    spans.enter("reliability.sweep", obs);
+    let tables = run_traced(obs, trace);
+    spans.exit(obs);
+    tables
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

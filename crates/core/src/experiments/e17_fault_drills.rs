@@ -191,6 +191,50 @@ pub fn rows_with_threads_traced(
     )
 }
 
+/// [`rows_with_threads_traced`] plus span attribution: every matrix
+/// cell runs inside a `<design>/<drill>` span absorbed into `spans` in
+/// matrix order, so the span tree is exactly as thread-invariant as the
+/// outcome vector. Telemetry on `obs` and `trace` is byte-identical to
+/// [`rows_with_threads_traced`].
+///
+/// # Panics
+///
+/// Panics if a drill cell panics — drills are deterministic physics,
+/// never expected to unwind.
+#[must_use]
+pub fn rows_with_threads_spanned(
+    threads: usize,
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+    spans: &rcs_obs::span::SpanSink,
+) -> Vec<DrillOutcome> {
+    let drills = cells();
+    let labels: Vec<String> = drills
+        .iter()
+        .map(|d| format!("{}/{}", d.module.name(), d.name))
+        .collect();
+    let streams = Rng::seed_from_u64(SEED).split_streams(drills.len());
+    let work: Vec<(FaultDrill, Rng)> = drills.into_iter().zip(streams).collect();
+    rcs_parallel::par_map_spanned(
+        work,
+        threads,
+        obs,
+        trace,
+        spans,
+        |i| labels[i].clone(),
+        |_, (drill, mut rng), shard, shard_trace, shard_spans| {
+            drill.run_spanned(&mut rng, shard, shard_trace, shard_spans)
+        },
+    )
+    .into_iter()
+    .enumerate()
+    .map(|(i, cell)| match cell {
+        Ok(outcome) => outcome,
+        Err(panic) => panic!("drill cell {} panicked: {panic}", labels[i]),
+    })
+    .collect()
+}
+
 fn fmt_time(t: Option<Seconds>) -> String {
     t.map_or_else(|| "—".to_owned(), |s| format!("{:.0} s", s.seconds()))
 }
@@ -218,6 +262,22 @@ pub fn run_traced(obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<
         rcs_parallel::thread_count(),
         obs,
         trace,
+    ))
+}
+
+/// [`run_traced`] plus span attribution (see
+/// [`rows_with_threads_spanned`]).
+#[must_use]
+pub fn run_spanned(
+    obs: &Registry,
+    trace: &rcs_obs::trace::TraceRecorder,
+    spans: &rcs_obs::span::SpanSink,
+) -> Vec<Table> {
+    render(&rows_with_threads_spanned(
+        rcs_parallel::thread_count(),
+        obs,
+        trace,
+        spans,
     ))
 }
 

@@ -378,12 +378,35 @@ impl ImmersionModel {
         obs: &Registry,
         trace: &rcs_obs::trace::TraceRecorder,
     ) -> Result<SteadyReport, CoreError> {
+        self.solve_robust_spanned(obs, trace, rcs_obs::span::SpanSink::disabled())
+    }
+
+    /// [`ImmersionModel::solve_robust_traced`] plus span attribution:
+    /// the whole ladder runs inside one `immersion.ladder` span with
+    /// one `rung` child per damping rung attempted, so span rollups
+    /// show exactly which rung burned the fixed-point iterations.
+    /// Telemetry on `obs` and `trace` is byte-identical to the traced
+    /// variant — spans are a strict addition.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ImmersionModel::solve_robust`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn solve_robust_spanned(
+        &self,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
+    ) -> Result<SteadyReport, CoreError> {
         use rcs_obs::trace::ChannelKind;
         const LADDER: [(f64, usize); 3] = [(0.5, 120), (0.25, 400), (0.1, 1200)];
         obs.inc("immersion.ladder.calls");
+        spans.enter("immersion.ladder", obs);
         let mut last = None;
         for (rung, (damping, max_iter)) in LADDER.into_iter().enumerate() {
-            match self.solve_damped(damping, max_iter, obs) {
+            spans.enter("rung", obs);
+            let attempt = self.solve_damped(damping, max_iter, obs);
+            match attempt {
                 Err(
                     e @ CoreError::NoConvergence {
                         iterations,
@@ -391,6 +414,7 @@ impl ImmersionModel {
                     },
                 ) => {
                     obs.work("immersion.fixed_point_iterations", iterations as u64);
+                    spans.exit(obs);
                     trace.record_named(
                         "immersion.ladder.iterations",
                         ChannelKind::Scalar,
@@ -417,22 +441,27 @@ impl ImmersionModel {
                         report.iterations as u64,
                     );
                     obs.work("immersion.fixed_point_iterations", report.iterations as u64);
+                    spans.exit(obs);
                     trace.record_named(
                         "immersion.ladder.iterations",
                         ChannelKind::Scalar,
                         rung as f64,
                         report.iterations as f64,
                     );
+                    spans.exit(obs);
                     return Ok(report);
                 }
                 Err(e) => {
                     obs.inc("immersion.ladder.error");
+                    spans.exit(obs);
+                    spans.exit(obs);
                     return Err(e);
                 }
             }
         }
         obs.inc("immersion.ladder.no_convergence");
         obs.add("immersion.ladder.escalations", (LADDER.len() - 1) as u64);
+        spans.exit(obs);
         Err(last.expect("ladder has at least one rung"))
     }
 
@@ -840,7 +869,23 @@ impl WarmupSession {
     /// of the model and is rebuilt on [`WarmupSession::resume`].
     #[must_use]
     pub fn checkpoint(&self, obs: &Registry, trace: &rcs_obs::trace::TraceRecorder) -> Vec<u8> {
-        rcs_kernel::seal(WARMUP_SNAPSHOT_KIND, &self.inner.checkpoint(obs, trace))
+        self.checkpoint_spanned(obs, trace, rcs_obs::span::SpanSink::disabled())
+    }
+
+    /// [`WarmupSession::checkpoint`] that additionally seals the span
+    /// sink's state — open stack included — so a span bracketing the
+    /// warm-up survives the checkpoint.
+    #[must_use]
+    pub fn checkpoint_spanned(
+        &self,
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
+    ) -> Vec<u8> {
+        rcs_kernel::seal(
+            WARMUP_SNAPSHOT_KIND,
+            &self.inner.checkpoint_spanned(obs, trace, spans),
+        )
     }
 
     /// Reconstructs a session from [`WarmupSession::checkpoint`] bytes,
@@ -859,6 +904,28 @@ impl WarmupSession {
         obs: &Registry,
         trace: &rcs_obs::trace::TraceRecorder,
     ) -> Result<Self, rcs_kernel::SnapshotError> {
+        Self::resume_spanned(
+            model,
+            bytes,
+            obs,
+            trace,
+            rcs_obs::span::SpanSink::disabled(),
+        )
+    }
+
+    /// [`WarmupSession::resume`] that additionally restores the sealed
+    /// span tree — open stack included — into `spans`.
+    ///
+    /// # Errors
+    ///
+    /// See [`WarmupSession::resume`].
+    pub fn resume_spanned(
+        model: &ImmersionModel,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &rcs_obs::trace::TraceRecorder,
+        spans: &rcs_obs::span::SpanSink,
+    ) -> Result<Self, rcs_kernel::SnapshotError> {
         let inner_bytes = rcs_kernel::open(WARMUP_SNAPSHOT_KIND, bytes)?;
         // The network is derived state: rebuild it under disabled sinks
         // (the original construction's telemetry is part of the captured
@@ -867,7 +934,8 @@ impl WarmupSession {
             model.warmup_network(Registry::disabled()).map_err(|e| {
                 rcs_kernel::SnapshotError::Malformed(format!("model rejected on resume: {e}"))
             })?;
-        let inner = rcs_thermal::TransientSession::resume(&net, inner_bytes, obs, trace)?;
+        let inner =
+            rcs_thermal::TransientSession::resume_spanned(&net, inner_bytes, obs, trace, spans)?;
         Ok(Self {
             net,
             chip_node,

@@ -33,6 +33,7 @@
 
 use rcs_fluids::FluidState;
 use rcs_numeric::{Matrix, SparseSymbolic};
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::{ChannelKind, TraceRecorder};
 use rcs_obs::{residual_decade, Registry};
 use rcs_units::VolumeFlow;
@@ -690,16 +691,42 @@ impl HydraulicNetwork {
         obs: &Registry,
         trace: &TraceRecorder,
     ) -> Result<HydraulicSolution, HydraulicError> {
+        self.solve_with_ladder_spanned_in(fluid, rungs, ctx, obs, trace, SpanSink::disabled())
+    }
+
+    /// [`HydraulicNetwork::solve_with_ladder_traced_in`] plus span
+    /// attribution: the ladder runs inside one `hydraulics.ladder` span
+    /// with one `rung` child per attempt, each bracketing that rung's
+    /// Hardy-Cross iterations — span rollups show which rung of the
+    /// retry ladder burned the solver work. Telemetry on `obs` and
+    /// `trace` is byte-identical to the traced variant.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HydraulicNetwork::solve_with_ladder`].
+    #[allow(clippy::cast_precision_loss)]
+    pub fn solve_with_ladder_spanned_in(
+        &self,
+        fluid: &FluidState,
+        rungs: &[SolveOptions],
+        ctx: &mut SolverContext,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> Result<HydraulicSolution, HydraulicError> {
         obs.inc("hydraulics.ladder.calls");
         if rungs.is_empty() {
             return Err(HydraulicError::NonPositiveParameter {
                 parameter: "retry ladder rung count",
             });
         }
+        spans.enter("hydraulics.ladder", obs);
         let mut attempts = Vec::new();
         let mut last_failure: Option<SolveFailure> = None;
         for (rung, opts) in rungs.iter().enumerate() {
-            match self.solve_inner(fluid, opts, ctx) {
+            spans.enter("rung", obs);
+            let attempt = self.solve_inner(fluid, opts, ctx);
+            match attempt {
                 Ok(outcome) => {
                     let solution = outcome.solution;
                     obs.inc("hydraulics.ladder.converged");
@@ -719,6 +746,7 @@ impl HydraulicNetwork {
                     if outcome.warm_started {
                         obs.work("hydraulics.warm_starts", 1);
                     }
+                    spans.exit(obs);
                     trace.record_named(
                         "hydraulics.ladder.residual",
                         ChannelKind::Residual,
@@ -731,10 +759,12 @@ impl HydraulicNetwork {
                         rung as f64,
                         solution.iterations() as f64,
                     );
+                    spans.exit(obs);
                     return Ok(solution);
                 }
                 Err(InnerError::Stalled(fail)) => {
                     self.record_solver_work(obs, fail.iterations as u64);
+                    spans.exit(obs);
                     trace.record_named(
                         "hydraulics.ladder.residual",
                         ChannelKind::Residual,
@@ -750,10 +780,13 @@ impl HydraulicNetwork {
                 }
                 Err(InnerError::Other(err)) => {
                     obs.inc("hydraulics.ladder.error");
+                    spans.exit(obs);
+                    spans.exit(obs);
                     return Err(err);
                 }
             }
         }
+        spans.exit(obs);
         let fail = last_failure.expect("ladder has at least one rung");
         obs.inc("hydraulics.ladder.unsolvable");
         obs.add("hydraulics.ladder.escalations", (rungs.len() - 1) as u64);

@@ -15,9 +15,11 @@
 //!   format. Floats travel as bit patterns; decoding is total
 //!   (structured [`snap::SnapshotError`], never a panic).
 //! * [`sinks::SinkState`] — checkpoint/restore for the observability
-//!   sinks: golden counters, histograms and trace channels with their
-//!   decimation cursors. Notes and span timings are non-golden and
-//!   deliberately not captured.
+//!   sinks: golden counters, histograms, trace channels with their
+//!   decimation cursors, and the hierarchical span tree including its
+//!   open-span stack (spans are recorded in golden work units, so a
+//!   resumed run reproduces the straight run's tree bitwise). Notes
+//!   are non-golden and deliberately not captured.
 //!
 //! # The resume-equivalence contract
 //!

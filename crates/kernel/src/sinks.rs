@@ -1,21 +1,25 @@
 //! Checkpointing the observability sinks.
 //!
 //! A kernel checkpoint must carry not just the solver state but the
-//! *telemetry* state: every golden counter, histogram bucket and trace
-//! sample recorded so far, plus each trace channel's decimation cursor
-//! (stride and push count). Restoring into a **fresh** [`Registry`] and
-//! [`TraceRecorder`] then reproduces, bitwise, the sinks a straight
-//! uninterrupted run would have produced.
+//! *telemetry* state: every golden counter, histogram bucket, trace
+//! sample and span-tree node recorded so far, plus each trace channel's
+//! decimation cursor (stride and push count) and the span sink's
+//! **open-span stack**. Restoring into a **fresh** [`Registry`],
+//! [`TraceRecorder`] and [`SpanSink`] then reproduces, bitwise, the
+//! sinks a straight uninterrupted run would have produced — including
+//! spans that were still open when the checkpoint was taken.
 //!
-//! Two obs channels are deliberately *not* captured: notes and span
-//! timings. Both are non-golden by design (wall-clock, worker counts),
-//! excluded from snapshot equality and from profile diffs, so a resumed
-//! run may legitimately differ there.
+//! One obs channel is deliberately *not* captured: notes. Notes are
+//! non-golden by design (wall-clock, worker counts), excluded from
+//! snapshot equality and from profile diffs, so a resumed run may
+//! legitimately differ there. (The hierarchical span tree, by contrast,
+//! is recorded in golden work units and *is* captured.)
 //!
 //! Restore semantics mirror straight-through behavior: absorbing into a
 //! disabled sink is a silent no-op, because a straight run against a
 //! disabled sink records nothing either.
 
+use rcs_obs::span::{Frame, SpanNode, SpanSink, SpanState};
 use rcs_obs::trace::{ChannelKind, ChannelSnapshot, Sample, TraceRecorder, TraceSnapshot};
 use rcs_obs::{FHistogramSnapshot, HistogramSnapshot, Registry, Snapshot};
 
@@ -23,7 +27,9 @@ use crate::snap::{SnapReader, SnapWriter, SnapshotError};
 
 /// Captured state of one run's observability sinks: the golden
 /// [`Registry`] snapshot plus the full [`TraceRecorder`] state
-/// (channels, samples, decimation cursors, capacity, enablement).
+/// (channels, samples, decimation cursors, capacity, enablement) plus
+/// the full [`SpanSink`] state (closed tree, elision summaries, open
+/// stack).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SinkState {
     /// Golden counters / histograms at capture time.
@@ -35,24 +41,50 @@ pub struct SinkState {
     pub trace_capacity: usize,
     /// Whether the captured recorder was enabled at all.
     pub trace_enabled: bool,
+    /// Span tree at capture time, open stack included. Empty when the
+    /// captured sink was disabled (or the state predates spans).
+    pub spans: SpanState,
 }
 
 impl SinkState {
-    /// Captures the current state of `obs` and `trace`.
+    /// Captures the current state of `obs` and `trace` (no span sink —
+    /// the span state stays empty). Prefer
+    /// [`SinkState::capture_spanned`] on span-aware paths.
     #[must_use]
     pub fn capture(obs: &Registry, trace: &TraceRecorder) -> Self {
+        Self::capture_spanned(obs, trace, SpanSink::disabled())
+    }
+
+    /// Captures the current state of `obs`, `trace` and `spans` —
+    /// including the span sink's open stack, so a span that brackets
+    /// the checkpoint closes correctly on the restored sink.
+    #[must_use]
+    pub fn capture_spanned(obs: &Registry, trace: &TraceRecorder, spans: &SpanSink) -> Self {
         Self {
             obs: obs.snapshot(),
             trace: trace.snapshot(),
             trace_capacity: trace.capacity(),
             trace_enabled: trace.is_enabled(),
+            spans: spans.snapshot(),
         }
+    }
+
+    /// [`SinkState::restore_spanned`] without a span sink (the captured
+    /// span state, if any, is dropped — matching a straight run whose
+    /// span sink is disabled).
+    ///
+    /// # Errors
+    ///
+    /// See [`SinkState::restore_spanned`].
+    pub fn restore(&self, obs: &Registry, trace: &TraceRecorder) -> Result<(), SnapshotError> {
+        self.restore_spanned(obs, trace, SpanSink::disabled())
     }
 
     /// Restores the captured state into **fresh** sinks: golden
     /// counters are absorbed (exact additive merge into empty sinks is
-    /// an exact restore) and trace channels are installed verbatim,
-    /// cursors included.
+    /// an exact restore), trace channels are installed verbatim,
+    /// cursors included, and the span tree — open stack and all — is
+    /// installed wholesale.
     ///
     /// A disabled target sink is skipped silently — that matches what a
     /// straight-through run against the same disabled sink records.
@@ -63,7 +95,12 @@ impl SinkState {
     /// with a different capacity than the captured one: future
     /// decimation would then diverge from the uninterrupted run, which
     /// breaks the resume-equivalence contract.
-    pub fn restore(&self, obs: &Registry, trace: &TraceRecorder) -> Result<(), SnapshotError> {
+    pub fn restore_spanned(
+        &self,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> Result<(), SnapshotError> {
         obs.absorb(&self.obs);
         if trace.is_enabled() {
             if self.trace_enabled && trace.capacity() != self.trace_capacity {
@@ -75,6 +112,7 @@ impl SinkState {
             }
             trace.restore_channels(&self.trace);
         }
+        spans.restore(&self.spans);
         Ok(())
     }
 
@@ -113,14 +151,59 @@ impl SinkState {
                 w.f64(s.value);
             }
         }
+        Self::write_spans(w, &self.spans);
+    }
+
+    fn write_spans(w: &mut SnapWriter, spans: &SpanState) {
+        w.count(spans.nodes.len());
+        for node in &spans.nodes {
+            w.str(&node.label);
+            w.u64(node.start);
+            w.bool(node.end.is_some());
+            w.u64(node.end.unwrap_or(0));
+            w.count(node.children.len());
+            for &c in &node.children {
+                w.u64(c as u64);
+            }
+            Self::write_elided(w, &node.elided);
+        }
+        w.count(spans.roots.len());
+        for &r in &spans.roots {
+            w.u64(r as u64);
+        }
+        Self::write_elided(w, &spans.root_elided);
+        w.count(spans.stack.len());
+        for frame in &spans.stack {
+            match frame {
+                Frame::Node(idx) => {
+                    w.u8(0);
+                    w.u64(*idx as u64);
+                }
+                Frame::Elided { label, start } => {
+                    w.u8(1);
+                    w.str(label);
+                    w.u64(*start);
+                }
+                Frame::Suppressed => w.u8(2),
+            }
+        }
+    }
+
+    fn write_elided(w: &mut SnapWriter, elided: &[(String, u64, u64)]) {
+        w.count(elided.len());
+        for (label, count, work) in elided {
+            w.str(label);
+            w.u64(*count);
+            w.u64(*work);
+        }
     }
 
     /// Reconstructs a sink state serialized by [`SinkState::write_into`].
     ///
     /// # Errors
     ///
-    /// [`SnapshotError`] on truncated bytes or an unknown channel-kind
-    /// token.
+    /// [`SnapshotError`] on truncated bytes, an unknown channel-kind
+    /// token, or span-tree indices out of range.
     pub fn read_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
         let n = r.count()?;
         let mut counters = Vec::with_capacity(n);
@@ -175,6 +258,7 @@ impl SinkState {
                 samples,
             });
         }
+        let spans = Self::read_spans(r)?;
         Ok(Self {
             obs: Snapshot {
                 counters,
@@ -184,7 +268,82 @@ impl SinkState {
             trace: TraceSnapshot { channels },
             trace_capacity,
             trace_enabled,
+            spans,
         })
+    }
+
+    fn read_spans(r: &mut SnapReader<'_>) -> Result<SpanState, SnapshotError> {
+        let node_count = r.count()?;
+        let index = |raw: u64| -> Result<usize, SnapshotError> {
+            let idx = usize::try_from(raw)
+                .map_err(|_| SnapshotError::Malformed(format!("span index {raw} overflows")))?;
+            if idx >= node_count {
+                return Err(SnapshotError::Malformed(format!(
+                    "span index {idx} out of range ({node_count} nodes)"
+                )));
+            }
+            Ok(idx)
+        };
+        let mut nodes = Vec::with_capacity(node_count);
+        for _ in 0..node_count {
+            let label = r.str()?;
+            let start = r.u64()?;
+            let has_end = r.bool()?;
+            let end_raw = r.u64()?;
+            let end = has_end.then_some(end_raw);
+            let m = r.count()?;
+            let mut children = Vec::with_capacity(m);
+            for _ in 0..m {
+                children.push(index(r.u64()?)?);
+            }
+            let elided = Self::read_elided(r)?;
+            nodes.push(SpanNode {
+                label,
+                start,
+                end,
+                children,
+                elided,
+            });
+        }
+        let m = r.count()?;
+        let mut roots = Vec::with_capacity(m);
+        for _ in 0..m {
+            roots.push(index(r.u64()?)?);
+        }
+        let root_elided = Self::read_elided(r)?;
+        let m = r.count()?;
+        let mut stack = Vec::with_capacity(m);
+        for _ in 0..m {
+            let tag = r.u8()?;
+            stack.push(match tag {
+                0 => Frame::Node(index(r.u64()?)?),
+                1 => Frame::Elided {
+                    label: r.str()?,
+                    start: r.u64()?,
+                },
+                2 => Frame::Suppressed,
+                other => {
+                    return Err(SnapshotError::Malformed(format!(
+                        "unknown span frame tag {other}"
+                    )))
+                }
+            });
+        }
+        Ok(SpanState {
+            nodes,
+            roots,
+            root_elided,
+            stack,
+        })
+    }
+
+    fn read_elided(r: &mut SnapReader<'_>) -> Result<Vec<(String, u64, u64)>, SnapshotError> {
+        let m = r.count()?;
+        let mut elided = Vec::with_capacity(m);
+        for _ in 0..m {
+            elided.push((r.str()?, r.u64()?, r.u64()?));
+        }
+        Ok(elided)
     }
 }
 
@@ -207,10 +366,25 @@ mod tests {
         (obs, trace)
     }
 
+    fn busy_spans(obs: &Registry) -> SpanSink {
+        let spans = SpanSink::with_fanout(2);
+        spans.enter("session", obs);
+        obs.work("kernel.test.work", 6);
+        for _ in 0..4 {
+            spans.enter("step", obs);
+            obs.work("kernel.test.work", 2);
+            spans.exit(obs);
+        }
+        // leave "session" open: checkpoints happen mid-span
+        spans
+    }
+
     #[test]
     fn capture_serialize_restore_is_bitwise() {
         let (obs, trace) = busy_sinks();
-        let state = SinkState::capture(&obs, &trace);
+        let spans = busy_spans(&obs);
+        let state = SinkState::capture_spanned(&obs, &trace, &spans);
+        assert_eq!(state.spans.stack.len(), 1, "mid-span checkpoint");
 
         let mut w = SnapWriter::new();
         state.write_into(&mut w);
@@ -222,9 +396,12 @@ mod tests {
 
         let obs2 = Registry::new();
         let trace2 = TraceRecorder::with_capacity(8);
-        decoded.restore(&obs2, &trace2).unwrap();
+        let spans2 = SpanSink::with_fanout(2);
+        decoded.restore_spanned(&obs2, &trace2, &spans2).unwrap();
         assert_eq!(obs2.snapshot(), obs.snapshot());
+        assert_eq!(obs2.work_units(), obs.work_units());
         assert_eq!(trace2.snapshot(), trace.snapshot());
+        assert_eq!(spans2.snapshot(), spans.snapshot());
 
         // The restored recorder decimates exactly like the original on
         // further pushes — the cursor survived the round trip.
@@ -235,17 +412,42 @@ mod tests {
             trace2.record(ch2, f64::from(i) * 0.5, 20.0 + f64::from(i));
         }
         assert_eq!(trace2.snapshot(), trace.snapshot());
+
+        // The restored span sink continues the open span exactly like
+        // the original: same work, same elision decisions, same exit.
+        for (o, s) in [(&obs, &spans), (&obs2, &spans2)] {
+            s.enter("step", o);
+            o.work("kernel.test.work", 3);
+            s.exit(o);
+            s.exit(o);
+        }
+        assert_eq!(spans2.snapshot(), spans.snapshot());
+        assert!(spans.snapshot().stack.is_empty());
+    }
+
+    #[test]
+    fn legacy_capture_restore_keeps_spans_empty() {
+        let (obs, trace) = busy_sinks();
+        let state = SinkState::capture(&obs, &trace);
+        assert!(state.spans.is_empty());
+        let obs2 = Registry::new();
+        let trace2 = TraceRecorder::with_capacity(8);
+        state.restore(&obs2, &trace2).unwrap();
+        assert_eq!(obs2.snapshot(), obs.snapshot());
     }
 
     #[test]
     fn restore_into_disabled_sinks_is_a_silent_noop() {
         let (obs, trace) = busy_sinks();
-        let state = SinkState::capture(&obs, &trace);
+        let spans = busy_spans(&obs);
+        let state = SinkState::capture_spanned(&obs, &trace, &spans);
         let obs2 = Registry::disabled();
         let trace2 = TraceRecorder::disabled();
-        state.restore(obs2, trace2).unwrap();
+        let spans2 = SpanSink::disabled();
+        state.restore_spanned(obs2, trace2, spans2).unwrap();
         assert!(obs2.snapshot().counters.is_empty());
         assert!(trace2.snapshot().is_empty());
+        assert!(spans2.snapshot().is_empty());
     }
 
     #[test]
@@ -263,7 +465,8 @@ mod tests {
     #[test]
     fn truncated_sink_bytes_decode_to_an_error() {
         let (obs, trace) = busy_sinks();
-        let state = SinkState::capture(&obs, &trace);
+        let spans = busy_spans(&obs);
+        let state = SinkState::capture_spanned(&obs, &trace, &spans);
         let mut w = SnapWriter::new();
         state.write_into(&mut w);
         let bytes = w.into_bytes();
@@ -271,5 +474,23 @@ mod tests {
             let mut r = SnapReader::new(&bytes[..n]);
             assert!(SinkState::read_from(&mut r).is_err(), "truncated at {n}");
         }
+    }
+
+    #[test]
+    fn out_of_range_span_index_is_rejected() {
+        let (obs, trace) = busy_sinks();
+        let spans = SpanSink::new();
+        spans.enter("only", &obs);
+        spans.exit(&obs);
+        let mut state = SinkState::capture_spanned(&obs, &trace, &spans);
+        state.spans.roots = vec![7]; // node 7 does not exist
+        let mut w = SnapWriter::new();
+        state.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            SinkState::read_from(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 }

@@ -23,7 +23,9 @@ pub const MAGIC: [u8; 4] = *b"RCSK";
 
 /// Wire-format version. Bump on any layout change: an old reader must
 /// reject a new snapshot (and vice versa) rather than misparse it.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: `SinkState` carries the span-tree state (nodes, elisions, open
+/// stack) after the trace channels.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A structured snapshot decoding failure. Every variant names what the
 /// reader expected and what it found, so a corrupted checkpoint is

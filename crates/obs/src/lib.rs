@@ -57,6 +57,7 @@ use std::time::Instant;
 pub mod manifest;
 pub mod profile;
 pub mod report;
+pub mod span;
 pub mod trace;
 
 /// Aggregated state behind the registry mutex. `BTreeMap` keeps every
@@ -74,6 +75,11 @@ struct Inner {
     timings: BTreeMap<String, TimingStat>,
     /// Non-golden: scheduling-dependent gauges.
     notes: BTreeMap<String, u64>,
+    /// Golden: running sum of every `profile.*` counter ever recorded
+    /// or absorbed — the deterministic work clock behind
+    /// [`Registry::work_units`]. Redundant with the counters themselves
+    /// but O(1) to read, which the span sink does on every enter/exit.
+    work_units: u64,
 }
 
 /// Accumulated wall-clock time of one span name (non-golden channel).
@@ -114,6 +120,7 @@ static DISABLED: Registry = Registry {
         fhistograms: BTreeMap::new(),
         timings: BTreeMap::new(),
         notes: BTreeMap::new(),
+        work_units: 0,
     }),
 };
 
@@ -152,6 +159,22 @@ impl Registry {
         }
         let mut inner = self.lock();
         *inner.counters.entry(name.to_owned()).or_insert(0) += n;
+        if name.starts_with(profile::PREFIX) {
+            inner.work_units += n;
+        }
+    }
+
+    /// The deterministic work clock: the sum of every `profile.*`
+    /// counter recorded into (or absorbed by) this registry so far.
+    /// Work units are pure functions of the workload — never wall clock
+    /// — so two runs of the same workload read identical clocks at
+    /// every `RCS_THREADS`. The disabled sink always reads 0.
+    #[must_use]
+    pub fn work_units(&self) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.lock().work_units
     }
 
     /// Increments the golden counter `name` by one.
@@ -366,6 +389,9 @@ impl Registry {
         let mut inner = self.lock();
         for (name, v) in &snapshot.counters {
             *inner.counters.entry(name.clone()).or_insert(0) += v;
+            if name.starts_with(profile::PREFIX) {
+                inner.work_units += v;
+            }
         }
         for (name, hist) in &snapshot.histograms {
             let target =

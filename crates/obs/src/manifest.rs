@@ -257,6 +257,31 @@ mod tests {
         assert_eq!(escape_json("plain"), "plain");
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("r\rt\t"), "r\\rt\\t");
+    }
+
+    #[test]
+    fn hostile_counter_and_note_names_stay_one_line_each() {
+        let obs = Registry::new();
+        obs.inc("cell \"a,b\"\n/steps");
+        obs.note("workers\r\"x\"", 2);
+        let meta = RunMeta::new("exp_hostile", None, 1);
+        let text = render(&meta, &obs);
+        // every embedded newline was escaped: one JSON doc per line
+        for line in text.lines() {
+            let parsed = crate::report::parse_json(line).expect("valid JSON line");
+            assert!(parsed.get("type").is_some(), "{line}");
+        }
+        assert_eq!(text.trim_end().lines().count(), 3, "{text}");
+        let counter_line = text
+            .lines()
+            .find(|l| l.contains("\"type\":\"counter\""))
+            .expect("counter line");
+        let parsed = crate::report::parse_json(counter_line).expect("valid JSON");
+        assert_eq!(
+            parsed.get("name").and_then(crate::report::Json::as_str),
+            Some("cell \"a,b\"\n/steps")
+        );
     }
 
     #[test]

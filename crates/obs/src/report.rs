@@ -253,6 +253,41 @@ pub struct TraceDoc {
     pub samples: Vec<(f64, f64)>,
 }
 
+/// One span row as parsed back from NDJSON (see
+/// [`crate::span::render_ndjson`]). All values are golden work units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanDoc {
+    /// Stable span id (16 hex digits).
+    pub id: String,
+    /// Parent span id; `None` for roots.
+    pub parent: Option<String>,
+    /// Span label.
+    pub label: String,
+    /// Tree depth (roots are 0).
+    pub depth: u64,
+    /// Work clock at enter.
+    pub start: u64,
+    /// Work clock at exit.
+    pub end: u64,
+    /// Work attributed to this span alone.
+    pub self_work: u64,
+    /// Work including children.
+    pub total: u64,
+}
+
+/// One span-elision row: a fanout-capped same-label child summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanElisionDoc {
+    /// Parent span id; `None` for elided roots.
+    pub parent: Option<String>,
+    /// Elided label.
+    pub label: String,
+    /// Number of folded spans.
+    pub count: u64,
+    /// Their summed work.
+    pub work: u64,
+}
+
 /// One run's golden telemetry as parsed from an NDJSON manifest/trace
 /// file. Non-golden `timing`/`note` lines are discarded on parse.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -274,6 +309,10 @@ pub struct RunDoc {
     pub fhistograms: BTreeMap<String, (Vec<f64>, Vec<u64>)>,
     /// Traced channels.
     pub traces: BTreeMap<String, TraceDoc>,
+    /// Golden span tree in export (pre-order DFS) order.
+    pub spans: Vec<SpanDoc>,
+    /// Fanout-elision summaries, in export order.
+    pub span_elisions: Vec<SpanElisionDoc>,
 }
 
 impl RunDoc {
@@ -411,6 +450,56 @@ pub fn parse_ndjson(text: &str) -> Result<Vec<RunDoc>, String> {
                         samples,
                     },
                 );
+            }
+            "span" => {
+                let field = |key: &str| -> Result<u64, String> {
+                    value
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| field_err(line_no, &format!("span \"{key}\"")))
+                };
+                doc.spans.push(SpanDoc {
+                    id: value
+                        .get("id")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err(line_no, "span \"id\""))?
+                        .to_owned(),
+                    parent: value
+                        .get("parent")
+                        .and_then(Json::as_str)
+                        .map(str::to_owned),
+                    label: value
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err(line_no, "span \"label\""))?
+                        .to_owned(),
+                    depth: field("depth")?,
+                    start: field("start")?,
+                    end: field("end")?,
+                    self_work: field("self")?,
+                    total: field("total")?,
+                });
+            }
+            "span_elided" => {
+                let field = |key: &str| -> Result<u64, String> {
+                    value
+                        .get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| field_err(line_no, &format!("span_elided \"{key}\"")))
+                };
+                doc.span_elisions.push(SpanElisionDoc {
+                    parent: value
+                        .get("parent")
+                        .and_then(Json::as_str)
+                        .map(str::to_owned),
+                    label: value
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| field_err(line_no, "span_elided \"label\""))?
+                        .to_owned(),
+                    count: field("count")?,
+                    work: field("work")?,
+                });
             }
             // non-golden and future line types
             _ => {}
@@ -712,9 +801,18 @@ pub fn diff_docs(a: &[RunDoc], b: &[RunDoc], opts: &DiffOptions) -> DiffReport {
 
 /// Renders a human-readable cross-run summary: per run, the header
 /// identity, the largest golden counters, the rolled-up profile tree,
-/// and per-trace channel statistics.
+/// and per-trace channel statistics. Shows the 10 largest counters and
+/// `profile.*` leaves — [`summary_top`] makes the cut configurable.
 #[must_use]
 pub fn summary(docs: &[RunDoc]) -> String {
+    summary_top(docs, 10)
+}
+
+/// [`summary`] with an explicit hotspot cut: the `top` largest golden
+/// counters and the `top` largest `profile.*` work leaves, both ranked
+/// by magnitude (the `obs_report summary --top N` flag).
+#[must_use]
+pub fn summary_top(docs: &[RunDoc], top: usize) -> String {
     let mut out = String::new();
     for doc in docs {
         let name = if doc.experiment.is_empty() {
@@ -737,21 +835,34 @@ pub fn summary(docs: &[RunDoc]) -> String {
         );
         let _ = writeln!(
             out,
-            "  {} counters, {} histograms, {} float histograms, {} traces",
+            "  {} counters, {} histograms, {} float histograms, {} traces, {} spans",
             doc.counters.len(),
             doc.histograms.len(),
             doc.fhistograms.len(),
-            doc.traces.len()
+            doc.traces.len(),
+            doc.spans.len()
         );
-        let mut top: Vec<(&String, &u64)> = doc
+        let mut top_counters: Vec<(&String, &u64)> = doc
             .counters
             .iter()
             .filter(|(k, _)| !k.starts_with(profile::PREFIX))
             .collect();
-        top.sort_by(|(ka, va), (kb, vb)| vb.cmp(va).then_with(|| ka.cmp(kb)));
-        if !top.is_empty() {
+        top_counters.sort_by(|(ka, va), (kb, vb)| vb.cmp(va).then_with(|| ka.cmp(kb)));
+        if !top_counters.is_empty() {
             let _ = writeln!(out, "  top counters:");
-            for (k, v) in top.iter().take(10) {
+            for (k, v) in top_counters.iter().take(top) {
+                let _ = writeln!(out, "    {k} = {v}");
+            }
+        }
+        let mut leaves: Vec<(&String, &u64)> = doc
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(profile::PREFIX))
+            .collect();
+        leaves.sort_by(|(ka, va), (kb, vb)| vb.cmp(va).then_with(|| ka.cmp(kb)));
+        if !leaves.is_empty() {
+            let _ = writeln!(out, "  top profile leaves:");
+            for (k, v) in leaves.iter().take(top) {
                 let _ = writeln!(out, "    {k} = {v}");
             }
         }
@@ -786,6 +897,321 @@ pub fn summary(docs: &[RunDoc]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// Span attribution.
+// ---------------------------------------------------------------------
+
+/// The `/`-joined label paths of `doc.spans`, index-aligned with the
+/// span vector. The paths fall straight out of the pre-order export:
+/// a span at depth `d` extends the path of the most recent span at
+/// depth `d - 1`.
+#[must_use]
+pub fn span_paths(doc: &RunDoc) -> Vec<String> {
+    let mut stack: Vec<String> = Vec::new();
+    let mut out = Vec::with_capacity(doc.spans.len());
+    for span in &doc.spans {
+        stack.truncate(usize::try_from(span.depth).unwrap_or(usize::MAX));
+        stack.push(span.label.clone());
+        out.push(stack.join("/"));
+    }
+    out
+}
+
+/// The grand total of a run's span work: the summed totals of the root
+/// spans plus any elided root work. This is the denominator of every
+/// attribution percentage.
+#[must_use]
+pub fn span_grand_total(doc: &RunDoc) -> u64 {
+    doc.spans
+        .iter()
+        .filter(|s| s.parent.is_none())
+        .map(|s| s.total)
+        .sum::<u64>()
+        + doc
+            .span_elisions
+            .iter()
+            .filter(|e| e.parent.is_none())
+            .map(|e| e.work)
+            .sum::<u64>()
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn percent(part: u64, grand: u64) -> f64 {
+    100.0 * part as f64 / grand.max(1) as f64
+}
+
+/// Renders the attribution report of every run document: the top-`top`
+/// self-work spans, the critical path (the heaviest-total descent from
+/// the heaviest root), and the per-path work-share table aggregating
+/// self work over every span instance with the same label path. All
+/// figures are golden work units; percentages are shares of
+/// [`span_grand_total`].
+#[must_use]
+pub fn attribution(docs: &[RunDoc], top: usize) -> String {
+    let mut out = String::new();
+    for doc in docs {
+        let name = if doc.experiment.is_empty() {
+            "(headerless fragment)"
+        } else {
+            &doc.experiment
+        };
+        let _ = writeln!(out, "== attribution: {name} ==");
+        if doc.spans.is_empty() {
+            let _ = writeln!(out, "  no spans recorded");
+            continue;
+        }
+        let paths = span_paths(doc);
+        let grand = span_grand_total(doc);
+        let _ = writeln!(
+            out,
+            "  {} spans, {} elisions, {grand} work units attributed",
+            doc.spans.len(),
+            doc.span_elisions.len()
+        );
+
+        // Top self-work span instances.
+        let mut by_self: Vec<usize> = (0..doc.spans.len()).collect();
+        by_self.sort_by(|&i, &j| {
+            doc.spans[j]
+                .self_work
+                .cmp(&doc.spans[i].self_work)
+                .then_with(|| paths[i].cmp(&paths[j]))
+        });
+        let _ = writeln!(out, "  top self-work spans:");
+        for &i in by_self.iter().take(top) {
+            let s = &doc.spans[i];
+            let _ = writeln!(
+                out,
+                "    {:>10}  {:>6.2}%  {}",
+                s.self_work,
+                percent(s.self_work, grand),
+                paths[i]
+            );
+        }
+
+        // Critical path: from the heaviest root, always descend into
+        // the heaviest child (ties break toward export order).
+        let mut children: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in doc.spans.iter().enumerate() {
+            if let Some(parent) = &s.parent {
+                children.entry(parent.as_str()).or_default().push(i);
+            }
+        }
+        let heaviest = |candidates: &[usize]| -> Option<usize> {
+            candidates
+                .iter()
+                .copied()
+                .max_by(|&i, &j| doc.spans[i].total.cmp(&doc.spans[j].total).then(j.cmp(&i)))
+        };
+        let roots: Vec<usize> = (0..doc.spans.len())
+            .filter(|&i| doc.spans[i].parent.is_none())
+            .collect();
+        let _ = writeln!(out, "  critical path (heaviest descent):");
+        let mut cursor = heaviest(&roots);
+        while let Some(i) = cursor {
+            let s = &doc.spans[i];
+            let _ = writeln!(
+                out,
+                "    {:>10} total / {:>10} self  {}{}",
+                s.total,
+                s.self_work,
+                "  ".repeat(usize::try_from(s.depth).unwrap_or(0)),
+                s.label
+            );
+            cursor = children.get(s.id.as_str()).and_then(|kids| heaviest(kids));
+        }
+
+        // Work share by label path: self work aggregated over every
+        // instance of the same path (elided children under a
+        // `<path>/<label> (elided)` key). The shares partition the
+        // grand total exactly.
+        let mut shares: BTreeMap<String, u64> = BTreeMap::new();
+        for (i, s) in doc.spans.iter().enumerate() {
+            *shares.entry(paths[i].clone()).or_insert(0) += s.self_work;
+        }
+        let id_paths: BTreeMap<&str, &str> = doc
+            .spans
+            .iter()
+            .zip(&paths)
+            .map(|(s, p)| (s.id.as_str(), p.as_str()))
+            .collect();
+        for e in &doc.span_elisions {
+            let key = match &e.parent {
+                Some(p) => format!(
+                    "{}/{} (elided)",
+                    id_paths.get(p.as_str()).copied().unwrap_or("?"),
+                    e.label
+                ),
+                None => format!("{} (elided)", e.label),
+            };
+            *shares.entry(key).or_insert(0) += e.work;
+        }
+        let mut ranked: Vec<(&String, &u64)> = shares.iter().collect();
+        ranked.sort_by(|(ka, va), (kb, vb)| vb.cmp(va).then_with(|| ka.cmp(kb)));
+        let _ = writeln!(out, "  work share by path:");
+        for (path, &work) in ranked {
+            let _ = writeln!(
+                out,
+                "    {:>6.2}%  {:>10}  {path}",
+                percent(work, grand),
+                work
+            );
+        }
+    }
+    out
+}
+
+/// Diffs two runs' span trees. Spans match by stable id; `self`/`total`
+/// and the span window compare within the tolerance band of the span's
+/// label path, structure (label, depth, parent) compares exactly.
+/// Elisions match by `(parent id, label)` with `count` exact and `work`
+/// banded.
+#[must_use]
+pub fn diff_spans(a: &RunDoc, b: &RunDoc, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    let paths_a = span_paths(a);
+    let paths_b = span_paths(b);
+    let index = |doc: &RunDoc| -> BTreeMap<String, usize> {
+        doc.spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.clone(), i))
+            .collect()
+    };
+    let ia = index(a);
+    let ib = index(b);
+    let ids: std::collections::BTreeSet<&String> = ia.keys().chain(ib.keys()).collect();
+    for id in ids {
+        report.compared += 1;
+        match (ia.get(id.as_str()), ib.get(id.as_str())) {
+            (Some(&da), Some(&db)) => {
+                let (sa, sb) = (&a.spans[da], &b.spans[db]);
+                let name = paths_a[da].clone();
+                let tol = opts.tolerance(&name);
+                let detail = if sa.label != sb.label
+                    || sa.depth != sb.depth
+                    || sa.parent != sb.parent
+                {
+                    Some(format!(
+                        "structure drifted: {}@{} under {:?} vs {}@{} under {:?}",
+                        sa.label, sa.depth, sa.parent, sb.label, sb.depth, sb.parent
+                    ))
+                } else if !within_u64(sa.self_work, sb.self_work, tol)
+                    || !within_u64(sa.total, sb.total, tol)
+                {
+                    Some(format!(
+                        "work drifted: self {} vs {}, total {} vs {} (tol {tol})",
+                        sa.self_work, sb.self_work, sa.total, sb.total
+                    ))
+                } else if !within_u64(sa.start, sb.start, tol) || !within_u64(sa.end, sb.end, tol) {
+                    Some(format!(
+                        "window drifted: [{}, {}] vs [{}, {}] (tol {tol})",
+                        sa.start, sa.end, sb.start, sb.end
+                    ))
+                } else {
+                    None
+                };
+                if let Some(detail) = detail {
+                    report.findings.push(Finding {
+                        kind: "span",
+                        name,
+                        detail,
+                    });
+                }
+            }
+            (Some(&da), None) => report.findings.push(Finding {
+                kind: "span",
+                name: paths_a[da].clone(),
+                detail: format!("span {id} present in baseline, missing in candidate"),
+            }),
+            (None, Some(&db)) => report.findings.push(Finding {
+                kind: "span",
+                name: paths_b[db].clone(),
+                detail: format!("span {id} missing in baseline, present in candidate"),
+            }),
+            (None, None) => unreachable!("id came from one of the maps"),
+        }
+    }
+    let elisions = |doc: &RunDoc| -> BTreeMap<(String, String), (u64, u64)> {
+        doc.span_elisions
+            .iter()
+            .map(|e| {
+                (
+                    (e.parent.clone().unwrap_or_default(), e.label.clone()),
+                    (e.count, e.work),
+                )
+            })
+            .collect()
+    };
+    let ea = elisions(a);
+    let eb = elisions(b);
+    let keys: std::collections::BTreeSet<&(String, String)> = ea.keys().chain(eb.keys()).collect();
+    for key in keys {
+        report.compared += 1;
+        let name = format!("{}::{} (elided)", key.0, key.1);
+        match (ea.get(key), eb.get(key)) {
+            (Some(&(ca, wa)), Some(&(cb, wb))) => {
+                let tol = opts.tolerance(&key.1);
+                if ca != cb || !within_u64(wa, wb, tol) {
+                    report.findings.push(Finding {
+                        kind: "span_elided",
+                        name,
+                        detail: format!("count {ca} work {wa} vs count {cb} work {wb} (tol {tol})"),
+                    });
+                }
+            }
+            (present, _) => report.findings.push(Finding {
+                kind: "span_elided",
+                name,
+                detail: if present.is_some() {
+                    "present in baseline, missing in candidate".to_owned()
+                } else {
+                    "missing in baseline, present in candidate".to_owned()
+                },
+            }),
+        }
+    }
+    report
+}
+
+/// [`diff_spans`] across two parsed files, matching run documents by
+/// experiment name exactly like [`diff_docs`].
+#[must_use]
+pub fn diff_spans_docs(a: &[RunDoc], b: &[RunDoc], opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    let index = |docs: &[RunDoc]| -> BTreeMap<String, usize> {
+        docs.iter()
+            .enumerate()
+            .map(|(i, d)| (d.experiment.clone(), i))
+            .collect()
+    };
+    let ia = index(a);
+    let ib = index(b);
+    let names: std::collections::BTreeSet<&String> = ia.keys().chain(ib.keys()).collect();
+    for name in names {
+        match (ia.get(name.as_str()), ib.get(name.as_str())) {
+            (Some(&da), Some(&db)) => report.merge(diff_spans(&a[da], &b[db], opts)),
+            (present, _) => {
+                report.compared += 1;
+                report.findings.push(Finding {
+                    kind: "run",
+                    name: if name.is_empty() {
+                        "(headerless)".to_owned()
+                    } else {
+                        name.to_string()
+                    },
+                    detail: if present.is_some() {
+                        "run present in baseline, missing in candidate".to_owned()
+                    } else {
+                        "run missing in baseline, present in candidate".to_owned()
+                    },
+                });
+            }
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,6 +1244,9 @@ mod tests {
             "{\"type\":\"fhistogram\",\"name\":\"solver.residual\",\"edges\":[0.000001,0.001],\"counts\":[3,0,0]}",
             "{\"type\":\"timing\",\"name\":\"solver.total\",\"count\":3,\"total_nanos\":999}",
             "{\"type\":\"trace\",\"name\":\"t_chip\",\"kind\":\"temperature\",\"stride\":1,\"pushed\":2,\"samples\":[[0,45.5],[2,45.75]]}",
+            "{\"type\":\"span\",\"id\":\"00000000000000aa\",\"parent\":null,\"label\":\"outer\",\"depth\":0,\"start\":0,\"end\":20,\"self\":8,\"total\":20}",
+            "{\"type\":\"span\",\"id\":\"00000000000000bb\",\"parent\":\"00000000000000aa\",\"label\":\"inner\",\"depth\":1,\"start\":3,\"end\":13,\"self\":10,\"total\":10}",
+            "{\"type\":\"span_elided\",\"parent\":\"00000000000000aa\",\"label\":\"step\",\"count\":3,\"work\":2}",
         ]
         .join("\n")
     }
@@ -931,6 +1360,100 @@ mod tests {
             .findings
             .iter()
             .any(|f| f.name == "solver.calls" && f.detail.contains("missing in candidate")));
+    }
+
+    #[test]
+    fn span_lines_parse_in_export_order() {
+        let docs = parse_ndjson(&demo_ndjson()).unwrap();
+        let doc = &docs[0];
+        assert_eq!(doc.spans.len(), 2);
+        assert_eq!(doc.spans[0].label, "outer");
+        assert_eq!(doc.spans[0].parent, None);
+        assert_eq!(doc.spans[1].parent.as_deref(), Some("00000000000000aa"));
+        assert_eq!(doc.spans[1].self_work, 10);
+        assert_eq!(doc.span_elisions.len(), 1);
+        assert_eq!(doc.span_elisions[0].count, 3);
+        assert_eq!(span_paths(doc), vec!["outer", "outer/inner"]);
+        assert_eq!(span_grand_total(doc), 20);
+    }
+
+    #[test]
+    fn attribution_renders_rollups_critical_path_and_shares() {
+        let docs = parse_ndjson(&demo_ndjson()).unwrap();
+        let text = attribution(&docs, 5);
+        assert!(text.contains("== attribution: e_demo =="), "{text}");
+        assert!(
+            text.contains("2 spans, 1 elisions, 20 work units"),
+            "{text}"
+        );
+        // the deepest hop of the critical path is the inner span
+        assert!(text.contains("inner"), "{text}");
+        // shares partition the grand total: 8 + 10 + 2 = 20
+        assert!(text.contains("50.00%          10  outer/inner"), "{text}");
+        assert!(text.contains("40.00%           8  outer"), "{text}");
+        assert!(
+            text.contains("10.00%           2  outer/step (elided)"),
+            "{text}"
+        );
+        // a spanless doc renders a placeholder instead of dividing by 0
+        let empty = vec![RunDoc::default()];
+        assert!(attribution(&empty, 5).contains("no spans recorded"));
+    }
+
+    #[test]
+    fn span_diff_catches_work_structure_and_elision_drift() {
+        let a = parse_ndjson(&demo_ndjson()).unwrap();
+        for (needle, replacement) in [
+            ("\"self\":10,\"total\":10}", "\"self\":11,\"total\":11}"),
+            (
+                "\"label\":\"inner\",\"depth\":1",
+                "\"label\":\"inner\",\"depth\":2",
+            ),
+            ("\"count\":3,\"work\":2}", "\"count\":4,\"work\":2}"),
+        ] {
+            let b = parse_ndjson(&demo_ndjson().replacen(needle, replacement, 1)).unwrap();
+            let report = diff_spans_docs(&a, &b, &DiffOptions::default());
+            assert!(report.has_regressions(), "{needle} should drift");
+            assert_eq!(report.exit_code(), 1);
+        }
+        // a missing span is a regression on its own
+        let shorter = demo_ndjson()
+            .lines()
+            .filter(|l| !l.contains("00000000000000bb"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let b = parse_ndjson(&shorter).unwrap();
+        let report = diff_spans_docs(&a, &b, &DiffOptions::default());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.kind == "span" && f.detail.contains("missing in candidate")));
+    }
+
+    #[test]
+    fn span_diff_tolerance_bands_absorb_small_work_drift() {
+        let a = parse_ndjson(&demo_ndjson()).unwrap();
+        let b = parse_ndjson(&demo_ndjson().replacen(
+            "\"start\":3,\"end\":13,\"self\":10,\"total\":10}",
+            "\"start\":3,\"end\":13,\"self\":11,\"total\":11}",
+            1,
+        ))
+        .unwrap();
+        assert!(diff_spans_docs(&a, &b, &DiffOptions::default()).has_regressions());
+        let banded = DiffOptions {
+            tolerances: vec![("outer/inner".to_owned(), 0.2)],
+            ..DiffOptions::default()
+        };
+        let report = diff_spans_docs(&a, &b, &banded);
+        assert!(!report.has_regressions(), "{}", report.render());
+    }
+
+    #[test]
+    fn summary_top_ranks_profile_leaves() {
+        let docs = parse_ndjson(&demo_ndjson()).unwrap();
+        let text = summary_top(&docs, 3);
+        assert!(text.contains("top profile leaves:"), "{text}");
+        assert!(text.contains("profile.solve.iters = 12"), "{text}");
     }
 
     #[test]

@@ -490,12 +490,15 @@ pub fn render_ndjson(snapshot: &TraceSnapshot) -> String {
 }
 
 /// Renders a trace snapshot as CSV with a `channel,kind,index,t,value`
-/// header and one row per retained sample.
+/// header and one row per retained sample. Channel names containing a
+/// comma, double quote, newline, or carriage return are RFC-4180
+/// quoted (embedded quotes doubled) — an unquoted embedded newline
+/// would split the row in two.
 #[must_use]
 pub fn render_csv(snapshot: &TraceSnapshot) -> String {
     let mut out = String::from("channel,kind,index,t,value\n");
     for ch in &snapshot.channels {
-        let name = if ch.name.contains(',') || ch.name.contains('"') {
+        let name = if ch.name.contains([',', '"', '\n', '\r']) {
             format!("\"{}\"", ch.name.replace('"', "\"\""))
         } else {
             ch.name.clone()
@@ -615,6 +618,45 @@ mod tests {
             again.record(ch2, f64::from(i), f64::from(i) * 2.0);
         }
         assert_eq!(again.snapshot(), snap);
+    }
+
+    #[test]
+    fn csv_export_quotes_hostile_channel_names() {
+        let trace = TraceRecorder::new();
+        trace.record_named("plain", ChannelKind::Scalar, 0.0, 1.0);
+        trace.record_named("a,b", ChannelKind::Scalar, 0.0, 2.0);
+        trace.record_named("say \"hi\"", ChannelKind::Scalar, 0.0, 3.0);
+        trace.record_named("line\nbreak", ChannelKind::Scalar, 0.0, 4.0);
+        trace.record_named("car\rreturn", ChannelKind::Scalar, 0.0, 5.0);
+        let csv = render_csv(&trace.snapshot());
+        assert!(csv.contains("\nplain,scalar,"), "{csv}");
+        assert!(csv.contains("\n\"a,b\",scalar,"), "{csv}");
+        assert!(csv.contains("\n\"say \"\"hi\"\"\",scalar,"), "{csv}");
+        assert!(csv.contains("\"line\nbreak\",scalar,"), "{csv}");
+        assert!(csv.contains("\"car\rreturn\",scalar,"), "{csv}");
+        // a data row never starts with an unquoted name fragment: every
+        // line is either the header, a quoted-name row, a quote
+        // continuation, or starts with an unquoted full name
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        assert_eq!(header_cols, 5);
+    }
+
+    #[test]
+    fn ndjson_export_escapes_hostile_channel_names() {
+        let trace = TraceRecorder::new();
+        trace.record_named("a,b \"c\"\nd", ChannelKind::Scalar, 0.0, 1.0);
+        let ndjson = render_ndjson(&trace.snapshot());
+        assert!(
+            ndjson.contains("\"name\":\"a,b \\\"c\\\"\\nd\""),
+            "{ndjson}"
+        );
+        // the line stays one line: the raw newline was escaped
+        assert_eq!(ndjson.trim_end().lines().count(), 1, "{ndjson}");
+        let parsed = crate::report::parse_json(ndjson.trim_end()).expect("valid JSON");
+        assert_eq!(
+            parsed.get("name").and_then(crate::report::Json::as_str),
+            Some("a,b \"c\"\nd")
+        );
     }
 
     #[test]

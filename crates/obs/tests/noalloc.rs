@@ -11,6 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::{ChannelKind, TraceRecorder};
 use rcs_obs::Registry;
 
@@ -49,8 +50,10 @@ fn allocations_in(f: impl FnOnce()) -> u64 {
 fn disabled_sinks_never_touch_the_heap() {
     let obs = Registry::disabled();
     let trace = TraceRecorder::disabled();
+    let spans = SpanSink::disabled();
     assert!(!obs.is_enabled());
     assert!(!trace.is_enabled());
+    assert!(!spans.is_enabled());
 
     // Channel handles from a disabled recorder are inert sentinels;
     // opening them is part of the hot path and must also be free.
@@ -71,6 +74,15 @@ fn disabled_sinks_never_touch_the_heap() {
             assert_eq!(ch, chip);
             trace.record(ch, f64::from(u32::try_from(i).unwrap()), 45.0);
             trace.record_named("t_bath", ChannelKind::Temperature, 0.0, 30.0);
+
+            // Disabled span recording — enter, nested enter, unbalanced
+            // exits, the work-clock read — must all be free too.
+            spans.enter("session", obs);
+            spans.enter("rung", obs);
+            spans.exit(obs);
+            spans.exit(obs);
+            spans.exit(obs); // unbalanced: still a no-op
+            assert_eq!(obs.work_units(), 0);
         }
     });
     assert_eq!(count, 0, "disabled telemetry made {count} heap allocations");
@@ -78,4 +90,5 @@ fn disabled_sinks_never_touch_the_heap() {
     // And nothing was secretly buffered: the golden snapshots are empty.
     assert!(obs.snapshot().is_empty());
     assert!(trace.snapshot().is_empty());
+    assert!(spans.snapshot().is_empty());
 }

@@ -50,6 +50,7 @@ use std::ops::Range;
 use std::sync::mpsc;
 use std::sync::{Mutex, PoisonError};
 
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 
@@ -442,6 +443,92 @@ where
     results
 }
 
+/// The fully-instrumented parallel map: per-item panic isolation
+/// ([`par_map_isolated_observed`]), per-item trace shards
+/// ([`par_map_traced`]) **and** per-item span shards, all absorbed in
+/// input order.
+///
+/// Each item runs inside one span labelled `label(i)` on a shard
+/// [`SpanSink`]; after the map, shard trees are spliced under the
+/// caller's currently open span via [`SpanSink::absorb_at`] with the
+/// shard's counter snapshot absorbed immediately before, so span
+/// timestamps land exactly where serial inline execution would have put
+/// them. The item span is closed even when the item panics (the
+/// deterministic pre-panic prefix of the tree is kept, mirroring the
+/// counter contract), so absorbed shard trees are always balanced.
+///
+/// Golden counters are identical to [`par_map_isolated_observed`] /
+/// [`par_map_traced`]: `parallel.maps` / `parallel.tasks` up front,
+/// `resilience.worker.panics` per caught panic in input order, worker
+/// tallies on the non-golden note channel.
+pub fn par_map_spanned<T, R, F, L>(
+    items: Vec<T>,
+    threads: usize,
+    obs: &Registry,
+    trace: &TraceRecorder,
+    spans: &SpanSink,
+    label: L,
+    f: F,
+) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T, &Registry, &TraceRecorder, &SpanSink) -> R + Sync,
+    L: Fn(usize) -> String + Sync,
+{
+    let n = items.len();
+    obs.inc("parallel.maps");
+    obs.add("parallel.tasks", n as u64);
+
+    let worker = |i: usize, item: T| {
+        let shard = Registry::new();
+        let shard_trace = trace.shard();
+        let shard_spans = spans.shard();
+        shard_spans.enter(&label(i), &shard);
+        let result = isolate(|| f(i, item, &shard, &shard_trace, &shard_spans));
+        // Close the item span whether or not the item panicked — the
+        // absorbed tree must be balanced.
+        shard_spans.exit(&shard);
+        (
+            result,
+            shard.snapshot(),
+            shard_trace.snapshot(),
+            shard_spans.snapshot(),
+        )
+    };
+
+    let (quads, tallies) = if threads <= 1 || n <= 1 {
+        let quads = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| worker(i, x))
+            .collect();
+        (quads, vec![n as u64])
+    } else {
+        pooled_map(items, threads.min(n), &worker)
+    };
+
+    obs.note("parallel.workers", tallies.len() as u64);
+    obs.note(
+        "parallel.worker_tasks.max",
+        tallies.iter().copied().max().unwrap_or(0),
+    );
+
+    let mut results = Vec::with_capacity(n);
+    for (i, (result, snapshot, trace_snapshot, span_state)) in quads.into_iter().enumerate() {
+        let base = obs.work_units();
+        obs.absorb(&snapshot);
+        trace.absorb_prefixed(&label(i), &trace_snapshot);
+        spans.absorb_at(base, &span_state);
+        if result.is_err() {
+            obs.inc("resilience.worker.panics");
+            obs.work("resilience.worker.panics", 1);
+        }
+        results.push(result);
+    }
+    results
+}
+
 /// Maps `f` over `items` with the default worker count
 /// ([`thread_count`]), in input order.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -785,6 +872,66 @@ mod tests {
             let (got, snap) = run(threads);
             assert_eq!(got, ref_got, "threads = {threads}");
             assert_eq!(snap, ref_snap, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn spanned_map_counters_match_isolated_observed_map() {
+        let body = |x: u64, shard: &Registry| {
+            shard.inc("seen");
+            shard.work("units", x + 1);
+            assert!(x % 4 != 3, "chaos {x}");
+            x * 2
+        };
+        let obs_a = Registry::new();
+        let got_a =
+            par_map_isolated_observed((0..13).collect::<Vec<u64>>(), 4, &obs_a, |_, x, shard| {
+                body(x, shard)
+            });
+        let obs_b = Registry::new();
+        let got_b = par_map_spanned(
+            (0..13).collect::<Vec<u64>>(),
+            4,
+            &obs_b,
+            TraceRecorder::disabled(),
+            rcs_obs::span::SpanSink::disabled(),
+            |i| format!("item.{i}"),
+            |_, x, shard, _, _| body(x, shard),
+        );
+        assert_eq!(got_a, got_b);
+        assert_eq!(obs_a.snapshot(), obs_b.snapshot());
+    }
+
+    #[test]
+    fn spanned_map_tree_is_thread_invariant_and_balanced_under_panics() {
+        let run = |threads: usize| {
+            let obs = Registry::new();
+            let spans = rcs_obs::span::SpanSink::new();
+            spans.enter("batch", &obs);
+            let _ = par_map_spanned(
+                (0..6).collect::<Vec<u64>>(),
+                threads,
+                &obs,
+                TraceRecorder::disabled(),
+                &spans,
+                |i| format!("item.{i}"),
+                |_, x, shard, _, shard_spans| {
+                    shard_spans.enter("solve", shard);
+                    shard.work("units", 10 + x);
+                    shard_spans.exit(shard);
+                    assert!(x != 4, "chaos {x}");
+                    x
+                },
+            );
+            spans.exit(&obs);
+            rcs_obs::span::render_ndjson(&spans.snapshot())
+        };
+        let reference = run(1);
+        // each item span present (including the panicked one), balanced
+        assert_eq!(reference.matches("\"label\":\"item.").count(), 6);
+        assert_eq!(reference.matches("\"label\":\"solve\"").count(), 6);
+        for threads in [2, 4, 7] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
         }
     }
 

@@ -72,6 +72,18 @@ pub fn batch() -> Vec<DesignQuery> {
 /// known-good immersion design.
 #[must_use]
 pub fn run(obs: &Registry) -> Vec<Table> {
+    run_spanned(obs, rcs_obs::span::SpanSink::disabled())
+}
+
+/// [`run`] plus span attribution: each replay round runs inside a
+/// `round` span whose `query.batch` child carries the per-request
+/// `req.<hash>` spans. Telemetry on `obs` is byte-identical to [`run`].
+///
+/// # Panics
+///
+/// Same contract as [`run`].
+#[must_use]
+pub fn run_spanned(obs: &Registry, spans: &rcs_obs::span::SpanSink) -> Vec<Table> {
     let queries = batch();
     let threads = rcs_parallel::thread_count();
     let mut engine = QueryEngine::new(CAPACITY);
@@ -80,8 +92,9 @@ pub fn run(obs: &Registry) -> Vec<Table> {
     let mut last = Vec::new();
     let mut prev = obs.snapshot();
     for round in 1..=ROUNDS {
+        spans.enter("round", obs);
         last = engine
-            .run_batch(&queries, threads, obs)
+            .run_batch_spanned(&queries, threads, obs, spans)
             .into_iter()
             .map(|outcome| match outcome {
                 crate::QueryOutcome::Ok(verdict) => verdict,
@@ -100,6 +113,7 @@ pub fn run(obs: &Registry) -> Vec<Table> {
             engine.cache().len().to_string(),
         ]);
         prev = snap;
+        spans.exit(obs);
     }
 
     let verdict_rows = queries

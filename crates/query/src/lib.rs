@@ -81,6 +81,7 @@ use rcs_core::{rules, CoreError, ImmersionModel};
 use rcs_devices::OperatingPoint;
 use rcs_fluids::Coolant;
 use rcs_numeric::hash::Fnv1a;
+use rcs_obs::span::SpanSink;
 use rcs_obs::Registry;
 use rcs_platform::{presets, ComputeModule};
 use rcs_units::{Power, Seconds};
@@ -738,9 +739,30 @@ pub fn solve_query_resilient(
     injector: &dyn FaultInjector,
     obs: &Registry,
 ) -> Result<DesignVerdict, QueryError> {
+    solve_query_resilient_spanned(query, policy, injector, obs, SpanSink::disabled())
+}
+
+/// [`solve_query_resilient`] plus span attribution: every attempt of
+/// the retry ladder runs inside an `attempt` span, and a tripped work
+/// budget leaves a zero-width `budget` marker span inside the attempt
+/// that tripped it — so span rollups show which attempt of which
+/// request burned the work, and where budgets cut runs short.
+/// Telemetry on `obs` is byte-identical to [`solve_query_resilient`].
+///
+/// # Errors
+///
+/// Same contract as [`solve_query_resilient`].
+pub fn solve_query_resilient_spanned(
+    query: &DesignQuery,
+    policy: &ResiliencePolicy,
+    injector: &dyn FaultInjector,
+    obs: &Registry,
+    spans: &SpanSink,
+) -> Result<DesignVerdict, QueryError> {
     let max_attempts = policy.max_attempts.max(1);
     let mut last_err: Option<QueryError> = None;
     for attempt in 0..max_attempts {
+        spans.enter("attempt", obs);
         if attempt > 0 {
             obs.inc("resilience.retry.attempts");
             obs.work("resilience.retry.attempts", 1);
@@ -754,6 +776,9 @@ pub fn solve_query_resilient(
         if spent >= policy.work_budget {
             obs.inc("resilience.budget.exhausted");
             obs.work("resilience.budget.exhausted", 1);
+            spans.enter("budget", obs);
+            spans.exit(obs);
+            spans.exit(obs);
             return Err(QueryError::BudgetExhausted {
                 spent,
                 budget: policy.work_budget,
@@ -791,6 +816,7 @@ pub fn solve_query_resilient(
                     obs.inc("resilience.retry.recoveries");
                     obs.work("resilience.retry.recoveries", 1);
                 }
+                spans.exit(obs);
                 return Ok(verdict);
             }
             Ok(Err(e)) => e,
@@ -805,8 +831,10 @@ pub fn solve_query_resilient(
         if !err.is_retryable() {
             obs.inc("resilience.failures.fatal");
             obs.work("resilience.failures.fatal", 1);
+            spans.exit(obs);
             return Err(err);
         }
+        spans.exit(obs);
         last_err = Some(err);
     }
     obs.inc("resilience.failures.exhausted");
@@ -1112,6 +1140,18 @@ impl QueryEngine {
         self.run_batch_with(queries, threads, obs, &NoFaults)
     }
 
+    /// [`run_batch`](Self::run_batch) plus span attribution (see
+    /// [`run_batch_with_spanned`](Self::run_batch_with_spanned)).
+    pub fn run_batch_spanned(
+        &mut self,
+        queries: &[DesignQuery],
+        threads: usize,
+        obs: &Registry,
+        spans: &SpanSink,
+    ) -> Vec<QueryOutcome> {
+        self.run_batch_with_spanned(queries, threads, obs, &NoFaults, spans)
+    }
+
     /// [`run_batch`](Self::run_batch) with an explicit [`FaultInjector`]
     /// (the chaos-drill entry point).
     ///
@@ -1142,7 +1182,27 @@ impl QueryEngine {
         obs: &Registry,
         injector: &dyn FaultInjector,
     ) -> Vec<QueryOutcome> {
+        self.run_batch_with_spanned(queries, threads, obs, injector, SpanSink::disabled())
+    }
+
+    /// [`run_batch_with`](Self::run_batch_with) plus span attribution:
+    /// the whole batch runs inside one `query.batch` span; every
+    /// distinct miss solves inside a `req.<canonical hash>` child
+    /// (absorbed in miss order via [`rcs_parallel::par_map_spanned`])
+    /// with its retry ladder's `attempt` / `budget` spans nested
+    /// inside; and every degraded resolution leaves a zero-width
+    /// `degrade` marker on the batch span. Telemetry on `obs` is
+    /// byte-identical to [`run_batch_with`](Self::run_batch_with).
+    pub fn run_batch_with_spanned(
+        &mut self,
+        queries: &[DesignQuery],
+        threads: usize,
+        obs: &Registry,
+        injector: &dyn FaultInjector,
+        spans: &SpanSink,
+    ) -> Vec<QueryOutcome> {
         obs.inc("query.batch.runs");
+        spans.enter("query.batch", obs);
         obs.add("query.requests", queries.len() as u64);
         obs.work("query.requests", queries.len() as u64);
 
@@ -1184,12 +1244,20 @@ impl QueryEngine {
         // ladder already catches per-attempt panics — so an escaped
         // panic costs exactly one request, never the batch.
         let policy = self.policy;
-        let solved = rcs_parallel::par_map_isolated_observed(
+        let labels: Vec<String> = misses
+            .iter()
+            .map(|(hash, _)| format!("req.{hash:016x}"))
+            .collect();
+        let solved = rcs_parallel::par_map_spanned(
             misses,
             threads,
             obs,
-            |_, (hash, query), shard| {
-                let result = solve_query_resilient(&query, &policy, injector, shard);
+            rcs_obs::trace::TraceRecorder::disabled(),
+            spans,
+            |i| labels[i].clone(),
+            |_, (hash, query), shard, _, shard_spans| {
+                let result =
+                    solve_query_resilient_spanned(&query, &policy, injector, shard, shard_spans);
                 (hash, query, result)
             },
         );
@@ -1244,7 +1312,12 @@ impl QueryEngine {
             };
             match &outcome {
                 QueryOutcome::Ok(_) => ok_n += 1,
-                QueryOutcome::Degraded { .. } => degraded_n += 1,
+                QueryOutcome::Degraded { .. } => {
+                    degraded_n += 1;
+                    // zero-width marker: a degraded answer was served
+                    spans.enter("degrade", obs);
+                    spans.exit(obs);
+                }
                 QueryOutcome::Failed(_) => failed_n += 1,
             }
             outcomes.push(outcome);
@@ -1265,6 +1338,7 @@ impl QueryEngine {
         if degraded_n > 0 || failed_n > 0 {
             obs.add("query.outcomes.ok", ok_n);
         }
+        spans.exit(obs);
         outcomes
     }
 }

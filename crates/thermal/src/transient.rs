@@ -10,6 +10,7 @@
 
 use rcs_kernel::{Clock, SinkState, SnapReader, SnapWriter, SnapshotError};
 use rcs_numeric::ode::{rk4_step, Rk4Scratch};
+use rcs_obs::span::SpanSink;
 use rcs_obs::trace::TraceRecorder;
 use rcs_obs::Registry;
 use rcs_units::{Celsius, Seconds};
@@ -507,6 +508,20 @@ impl TransientSession {
     /// snapshot bytes.
     #[must_use]
     pub fn checkpoint(&self, obs: &Registry, trace: &TraceRecorder) -> Vec<u8> {
+        self.checkpoint_spanned(obs, trace, SpanSink::disabled())
+    }
+
+    /// [`TransientSession::checkpoint`] that additionally seals the
+    /// span sink's state — closed tree and **open stack** — so a span
+    /// bracketing this session survives the checkpoint and closes on
+    /// the restored sink exactly where the straight run closes it.
+    #[must_use]
+    pub fn checkpoint_spanned(
+        &self,
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
+    ) -> Vec<u8> {
         let mut w = SnapWriter::new();
         self.clock.write_into(&mut w);
         w.f64_slice(&self.state);
@@ -520,7 +535,7 @@ impl TransientSession {
                 w.f64(c.degrees());
             }
         }
-        SinkState::capture(obs, trace).write_into(&mut w);
+        SinkState::capture_spanned(obs, trace, spans).write_into(&mut w);
         rcs_kernel::seal(TRANSIENT_SNAPSHOT_KIND, &w.into_bytes())
     }
 
@@ -539,6 +554,22 @@ impl TransientSession {
         bytes: &[u8],
         obs: &Registry,
         trace: &TraceRecorder,
+    ) -> Result<Self, SnapshotError> {
+        Self::resume_spanned(net, bytes, obs, trace, SpanSink::disabled())
+    }
+
+    /// [`TransientSession::resume`] that additionally restores the
+    /// sealed span tree — open stack included — into `spans`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TransientSession::resume`].
+    pub fn resume_spanned(
+        net: &ThermalNetwork,
+        bytes: &[u8],
+        obs: &Registry,
+        trace: &TraceRecorder,
+        spans: &SpanSink,
     ) -> Result<Self, SnapshotError> {
         let payload = rcs_kernel::open(TRANSIENT_SNAPSHOT_KIND, bytes)?;
         let mut r = SnapReader::new(payload);
@@ -576,7 +607,7 @@ impl TransientSession {
                 net.nodes.len()
             )));
         }
-        sinks.restore(obs, trace)?;
+        sinks.restore_spanned(obs, trace, spans)?;
         Ok(Self {
             clock,
             state,
